@@ -1,0 +1,110 @@
+//! Randomized application-level invariants: whatever the configuration,
+//! the applications must stay *correct* — data delivered, logs gap-free,
+//! joins exact — and their reports self-consistent.
+
+use apps::{
+    run_dlog, run_hashtable, run_join, run_shuffle, DlogConfig, HtConfig, HtVariant, JoinConfig,
+    ShuffleConfig, ShuffleVariant,
+};
+use proptest::prelude::*;
+use simcore::SimTime;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn shuffle_never_loses_entries(
+        executors in 2usize..10,
+        value_len in 1usize..64,
+        batch in 1usize..20,
+        sp in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let variant = if batch == 1 {
+            ShuffleVariant::Basic
+        } else if sp {
+            ShuffleVariant::Sp(batch)
+        } else {
+            ShuffleVariant::Sgl(batch)
+        };
+        let r = run_shuffle(&ShuffleConfig {
+            executors,
+            entries_per_executor: 600,
+            value_len,
+            variant,
+            seed,
+            ..Default::default()
+        });
+        prop_assert!(r.verified, "shuffle lost or corrupted entries");
+        prop_assert_eq!(r.entries, 600 * executors as u64);
+        prop_assert!(r.mops > 0.0);
+    }
+
+    #[test]
+    fn dlog_is_always_gap_free(
+        engines in 1usize..10,
+        batch in 1usize..33,
+        body_len in 1usize..200,
+        numa in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let r = run_dlog(&DlogConfig {
+            engines,
+            batch,
+            body_len,
+            records_per_engine: 200,
+            numa,
+            seed,
+            ..Default::default()
+        });
+        prop_assert!(r.verified, "log had gaps, overlaps, or corruption");
+        prop_assert_eq!(r.records, 200 * engines as u64);
+    }
+
+    #[test]
+    fn join_is_always_exact(
+        executors in 2usize..8,
+        batch in 1usize..17,
+        numa in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let tuples = 1u64 << 11;
+        let r = run_join(&JoinConfig {
+            executors,
+            batch,
+            tuples,
+            numa,
+            verify: true,
+            seed,
+            ..Default::default()
+        });
+        prop_assert!(r.verified, "join result diverged");
+        prop_assert_eq!(r.matches, tuples);
+        prop_assert!(r.partition_time < r.time);
+    }
+
+    #[test]
+    fn hashtable_reports_are_consistent(
+        front_ends in 1usize..8,
+        theta in prop_oneof![Just(0usize), Just(4), Just(16)],
+        seed in any::<u64>(),
+    ) {
+        let variant = if theta == 0 { HtVariant::Numa } else { HtVariant::Reorder { theta } };
+        let r = run_hashtable(&HtConfig {
+            front_ends,
+            keys: 1 << 13,
+            ops_per_fe: 400,
+            variant,
+            seed,
+            ..Default::default()
+        });
+        prop_assert_eq!(r.ops, 400 * front_ends as u64);
+        prop_assert!(r.makespan > SimTime::ZERO);
+        prop_assert!(r.mops > 0.0);
+        if theta == 0 {
+            prop_assert_eq!(r.hot_fraction, 0.0);
+        } else {
+            prop_assert!(r.hot_fraction > 0.0 && r.hot_fraction < 1.0);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Developer sweep: the Fig 19 distributed-log grid (engines × batch ×
+//! NUMA awareness).
+
+use apps::{run_dlog, DlogConfig};
+
+fn main() {
+    println!("log M records/s at batch 1/2/4/8/16/32:");
+    for numa in [false, true] {
+        for engines in [4, 7, 14] {
+            print!("engines={engines:2} numa={numa:5}:");
+            for batch in [1, 2, 4, 8, 16, 32] {
+                let r = run_dlog(&DlogConfig {
+                    engines,
+                    batch,
+                    numa,
+                    records_per_engine: 2000,
+                    ..Default::default()
+                });
+                assert!(r.verified);
+                print!(" {:5.2}", r.mops);
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Developer diagnostics: hashtable runs with NIC-resource utilization
+//! dumps — the tool used to find the burst-buffer MTT-thrash and the
+//! flush-latency issues during calibration.
+
+use apps::hashtable::{run_hashtable_debug, HtConfig, HtVariant};
+use cluster::Testbed;
+
+fn main() {
+    for (fe, theta) in [(1usize, 4usize), (14, 4), (14, 16)] {
+        let cfg = HtConfig {
+            front_ends: fe,
+            keys: 1 << 18,
+            ops_per_fe: 1200,
+            variant: HtVariant::Reorder { theta },
+            ..Default::default()
+        };
+        let (r, tb) = run_hashtable_debug(&cfg);
+        println!(
+            "fe={fe} theta={theta}: {:.2} MOPS makespan={} flushes={} attempts={:.2} avg_flush={} avg_lock={}",
+            r.mops, r.makespan, r.flushes, r.avg_lock_attempts, r.avg_flush, r.avg_lock
+        );
+        dump(&tb, 7, r.makespan.as_ns());
+        dump(&tb, 0, r.makespan.as_ns());
+    }
+}
+
+/// Print per-port resource utilization of machine `m`.
+fn dump(tb: &Testbed, m: usize, span_ns: f64) {
+    let rnic = &tb.machine(m).rnic;
+    for p in 0..2 {
+        let port = rnic.port(p);
+        println!(
+            "  m{m} port{p}: exec={:.2} recv={:.2} atomic={:.2} gather={:.2} rx_link={:.2} pcie={:.2}",
+            port.exec.busy().as_ns() / span_ns,
+            port.recv.busy().as_ns() / span_ns,
+            port.atomic.busy().as_ns() / span_ns,
+            port.gather.busy().as_ns() / (2.0 * span_ns),
+            port.link_rx.busy().as_ns() / span_ns,
+            port.pcie.busy().as_ns() / span_ns
+        );
+    }
+    let (h, mi) = rnic.mtt.stats();
+    println!("  m{m} mtt hits={h} misses={mi}");
+}

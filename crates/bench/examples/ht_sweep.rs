@@ -1,0 +1,28 @@
+//! Developer sweep: the Fig 12 hashtable breakdown in one compact grid
+//! (front-ends × variants). `repro fig12` produces the full figure; this
+//! is the quick calibration check.
+
+use apps::{run_hashtable, HtConfig, HtVariant};
+
+fn main() {
+    println!("hashtable MOPS at 1/2/4/6/8/10/12/14 front-ends:");
+    for variant in [
+        HtVariant::Basic,
+        HtVariant::Numa,
+        HtVariant::Reorder { theta: 4 },
+        HtVariant::Reorder { theta: 16 },
+    ] {
+        print!("{variant:?}:");
+        for fe in [1, 2, 4, 6, 8, 10, 12, 14] {
+            let r = run_hashtable(&HtConfig {
+                front_ends: fe,
+                keys: 1 << 18,
+                ops_per_fe: 1200,
+                variant,
+                ..Default::default()
+            });
+            print!(" {:.2}", r.mops);
+        }
+        println!();
+    }
+}

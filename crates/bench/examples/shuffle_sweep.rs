@@ -1,0 +1,27 @@
+//! Developer sweep: the Fig 15 shuffle grid (executors × strategies).
+
+use apps::{run_shuffle, ShuffleConfig, ShuffleVariant};
+
+fn main() {
+    println!("shuffle M entries/s at 2/4/8/12/16 executors:");
+    for v in [
+        ShuffleVariant::Basic,
+        ShuffleVariant::Sgl(4),
+        ShuffleVariant::Sgl(16),
+        ShuffleVariant::Sp(4),
+        ShuffleVariant::Sp(16),
+    ] {
+        print!("{:20}", v.label());
+        for ex in [2, 4, 8, 12, 16] {
+            let r = run_shuffle(&ShuffleConfig {
+                executors: ex,
+                entries_per_executor: 4000,
+                variant: v,
+                ..Default::default()
+            });
+            assert!(r.verified);
+            print!(" {:6.2}", r.mops);
+        }
+        println!();
+    }
+}

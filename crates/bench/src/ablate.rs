@@ -1,0 +1,225 @@
+//! Ablations of the model's load-bearing design choices (DESIGN.md §6.6)
+//! and of the library's tunables: what the figures would look like had we
+//! modelled a mechanism differently. Run via `repro ablate-*`.
+
+use crate::report::{Experiment, Output};
+use cluster::{run_clients, Client, ClosedLoop, ClusterConfig, Endpoint, Testbed};
+use remem::Backoff;
+use rnicsim::{RKey, Sge, WorkRequest};
+use simcore::{Series, SimRng, SimTime};
+
+/// Windowed random-write measurement over a 2 GB region under a given
+/// cluster config: returns (throughput MOPS, mean latency µs).
+fn rand_write_point(cfg: ClusterConfig) -> (f64, f64) {
+    let mut tb = Testbed::new(cfg);
+    let src = tb.register(0, 1, 4096);
+    let dst = tb.register_unbacked(1, 1, 2 << 30);
+    let conn = tb.connect(Endpoint::affine(0, 1), Endpoint::affine(1, 1));
+    let mut rng = SimRng::new(9);
+    let ops = 2000u64;
+    let issue_log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let issues = std::rc::Rc::clone(&issue_log);
+    let mut cl = ClosedLoop::new(8, ops, move |tb: &mut Testbed, now, i| {
+        issues.borrow_mut().push(now);
+        let off = rng.gen_range((2u64 << 30) / 32) * 32;
+        tb.post_one(now, conn, WorkRequest::write(i, Sge::new(src, 0, 32), RKey(dst.0 as u64), off))
+            .at
+    });
+    {
+        let mut clients: Vec<Box<dyn Client + '_>> = vec![Box::new(&mut cl)];
+        run_clients(&mut tb, &mut clients, SimTime::MAX);
+    }
+    let comps = cl.completions();
+    let skip = (ops / 2) as usize;
+    let mops = simcore::mops(ops / 2 - 1, *comps.last().expect("ops") - comps[skip]);
+    let issues = issue_log.borrow();
+    let lat_ns: f64 = comps[skip..]
+        .iter()
+        .zip(&issues[skip..])
+        .map(|(c, i)| (*c - *i).as_ns())
+        .sum::<f64>()
+        / (ops / 2) as f64;
+    (mops, lat_ns / 1000.0)
+}
+
+/// How the occupancy/latency split of an MTT miss shapes random-access
+/// behaviour: all-latency misses leave throughput untouched (wrong),
+/// all-occupancy misses inflate throughput *and* latency damage together
+/// (also wrong); the calibrated split reproduces both Fig 6 axes.
+pub fn ablate_occupancy() -> Vec<Experiment> {
+    let mut tput = Series::new("throughput (MOPS)");
+    let mut lat = Series::new("latency (us)");
+    for &occ_ns in &[0u64, 150, 300, 450] {
+        let mut cfg = ClusterConfig::two_machines();
+        cfg.rnic.mtt_miss_occupancy = SimTime::from_ns(occ_ns);
+        let (m, l) = rand_write_point(cfg);
+        tput.push(occ_ns as f64, m);
+        lat.push(occ_ns as f64, l);
+    }
+    let t0 = tput.y_at(0.0).expect("0");
+    let t450 = tput.y_at(450.0).expect("450");
+    vec![Experiment {
+        id: "ablate-occupancy",
+        title: "Ablation: MTT-miss pipeline occupancy (of the fixed 450 ns total penalty) \
+                vs random-write behaviour"
+            .into(),
+        output: Output::Series {
+            x: "occupancy(ns)".into(),
+            y: "see series".into(),
+            series: vec![tput, lat],
+        },
+        notes: vec![format!(
+            "all-latency misses leave random throughput at {t0:.1} MOPS (no seq/rand gap — \
+             contradicts Fig 6); all-occupancy drops it to {t450:.1}. The shipped default is 300."
+        )],
+    }]
+}
+
+/// How the MTT cache capacity sets Fig 6(d)'s knee: the region size where
+/// random access starts losing tracks the cache's coverage.
+pub fn ablate_mtt_capacity() -> Vec<Experiment> {
+    let regions: [(f64, u64); 6] = [
+        (0.0, 1 << 20),
+        (1.0, 4 << 20),
+        (2.0, 16 << 20),
+        (3.0, 64 << 20),
+        (4.0, 256 << 20),
+        (5.0, 1 << 30),
+    ];
+    let mut series = Vec::new();
+    for &entries in &[256usize, 1024, 4096] {
+        let mut s = Series::new(format!(
+            "{entries} MTT entries ({} MB coverage)",
+            entries * 4096 / (1 << 20)
+        ));
+        for &(xi, region) in &regions {
+            let mut cfg = ClusterConfig::two_machines();
+            cfg.rnic.mtt_cache_entries = entries;
+            let mut tb = Testbed::new(cfg);
+            let src = tb.register(0, 1, 4096);
+            let dst = tb.register_unbacked(1, 1, region);
+            let conn = tb.connect(Endpoint::affine(0, 1), Endpoint::affine(1, 1));
+            let mut rng = SimRng::new(10);
+            let ops = 8000u64;
+            let mut cl = ClosedLoop::new(8, ops, move |tb: &mut Testbed, now, i| {
+                let off = rng.gen_range(region / 32) * 32;
+                tb.post_one(
+                    now,
+                    conn,
+                    WorkRequest::write(i, Sge::new(src, 0, 32), RKey(dst.0 as u64), off),
+                )
+                .at
+            });
+            {
+                let mut clients: Vec<Box<dyn Client + '_>> = vec![Box::new(&mut cl)];
+                run_clients(&mut tb, &mut clients, SimTime::MAX);
+            }
+            let comps = cl.completions();
+            let skip = (ops / 2) as usize;
+            s.push(xi, simcore::mops(ops / 2 - 1, *comps.last().expect("ops") - comps[skip]));
+        }
+        series.push(s);
+    }
+    vec![Experiment {
+        id: "ablate-mtt",
+        title: "Ablation: random 32 B write throughput vs region size \
+                (x: 1M,4M,16M,64M,256M,1G) for three MTT cache capacities"
+            .into(),
+        output: Output::Series { x: "region-idx".into(), y: "MOPS".into(), series },
+        notes: vec![
+            "each curve's knee sits at its cache's coverage — the mechanism behind Fig 6(d)'s \
+             4 MB knee"
+                .into(),
+        ],
+    }]
+}
+
+/// Backoff-parameter sensitivity of the contended remote spinlock
+/// (14 threads): too little backoff burns the atomic unit with failed
+/// CAS, too much sleeps through free lock tenures.
+pub fn ablate_backoff() -> Vec<Experiment> {
+    let mut s = Series::new("14-thread lock cycles (MOPS)");
+    let configs: [(&str, Option<Backoff>); 5] = [
+        ("none", None),
+        ("100ns/1us", Some(Backoff { base: SimTime::from_ns(100), max: SimTime::from_us(1) })),
+        ("300ns/6us", Some(Backoff::default())),
+        ("1us/6us", Some(Backoff { base: SimTime::from_us(1), max: SimTime::from_us(6) })),
+        ("300ns/40us", Some(Backoff { base: SimTime::from_ns(300), max: SimTime::from_us(40) })),
+    ];
+    let mut table = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(table, "{:<14} {:>10}", "backoff", "MOPS");
+    for (i, (label, backoff)) in configs.iter().enumerate() {
+        let mops = crate::atomics::remote_spinlock_mops_with(14, *backoff, 150);
+        s.push(i as f64, mops);
+        let _ = writeln!(table, "{label:<14} {mops:>10.3}");
+    }
+    vec![Experiment {
+        id: "ablate-backoff",
+        title: "Ablation: exponential-backoff parameters under 14-thread lock contention".into(),
+        output: Output::Table(table),
+        notes: vec![
+            "at 14 contenders the expected queue-wait is ~14 lock tenures (~38us), so larger \
+             caps keep winning here; the shipped default (300ns/6us) trades a little 14-thread \
+             throughput for much lower hand-off latency at 2-4 contenders (the app regime)"
+                .into(),
+        ],
+    }]
+}
+
+/// Inline sends (Herd-style): payloads up to `inline_max` ride inside the
+/// WQE, trading a CPU copy for the payload-gather DMA. The calibration
+/// baseline has inlining off (the paper's ConnectX-3 numbers), so this
+/// ablation shows what the optimization would buy.
+pub fn ablate_inline() -> Vec<Experiment> {
+    let mut lat = Series::new("small-write latency (us)");
+    let mut tput = Series::new("small-write throughput (MOPS)");
+    for &inline_max in &[0u64, 64, 188] {
+        let mut cfg = ClusterConfig::two_machines();
+        cfg.rnic.inline_max = inline_max;
+        let mut tb = Testbed::new(cfg);
+        let src = tb.register(0, 1, 4096);
+        let dst = tb.register_unbacked(1, 1, 1 << 20);
+        let conn = tb.connect(Endpoint::affine(0, 1), Endpoint::affine(1, 1));
+        let warm = tb.post_one(
+            SimTime::ZERO,
+            conn,
+            WorkRequest::write(0, Sge::new(src, 0, 32), RKey(dst.0 as u64), 0),
+        );
+        let c = tb.post_one(
+            warm.at,
+            conn,
+            WorkRequest::write(1, Sge::new(src, 0, 32), RKey(dst.0 as u64), 0),
+        );
+        lat.push(inline_max as f64, (c.at - warm.at).as_us());
+        let mut cl = ClosedLoop::new(16, 3000, move |tb: &mut Testbed, now, i| {
+            tb.post_one(now, conn, WorkRequest::write(i, Sge::new(src, 0, 32), RKey(dst.0 as u64), 0))
+                .at
+        });
+        {
+            let mut clients: Vec<Box<dyn Client + '_>> = vec![Box::new(&mut cl)];
+            run_clients(&mut tb, &mut clients, SimTime::MAX);
+        }
+        let comps = cl.completions();
+        tput.push(
+            inline_max as f64,
+            simcore::mops(1500 - 1, *comps.last().expect("ops") - comps[1500]),
+        );
+    }
+    let l0 = lat.y_at(0.0).expect("0");
+    let l188 = lat.y_at(188.0).expect("188");
+    vec![Experiment {
+        id: "ablate-inline",
+        title: "Ablation: WQE inlining threshold for 32 B writes (x: inline_max)".into(),
+        output: Output::Series {
+            x: "inline_max(B)".into(),
+            y: "see series".into(),
+            series: vec![lat, tput],
+        },
+        notes: vec![format!(
+            "inlining saves the payload-gather DMA: {:.2} -> {:.2} us on a small write; the \
+             calibration default keeps it off to match the paper's measured 1.16 us",
+            l0, l188
+        )],
+    }]
+}

@@ -1,0 +1,92 @@
+//! # bench — the reproduction harness
+//!
+//! Regenerates every data table and figure of *Thinking More about RDMA
+//! Memory Semantics* (CLUSTER 2021) from the simulated testbed. The
+//! `repro` binary drives the modules here; Criterion benches (in
+//! `benches/`) cover simulator hot paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablate;
+pub mod appfigs;
+pub mod atomics;
+pub mod micro;
+pub mod report;
+
+pub use appfigs::Scale;
+pub use report::{Experiment, Output};
+
+/// Order-preserving parallel map over independent experiment points
+/// (scoped threads; every simulation run is self-contained and `Send`).
+pub fn par_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let mut results: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (slot, item) in results.iter_mut().zip(items) {
+            let f = &f;
+            scope.spawn(move || *slot = Some(f(item)));
+        }
+    });
+    results.into_iter().map(|r| r.expect("worker finished")).collect()
+}
+
+/// Every experiment id the harness can regenerate, in paper order.
+pub const ALL_IDS: &[&str] = &[
+    "fig1", "fig3", "fig4", "fig5", "table1", "fig6", "fig8", "table2", "table3", "fig10",
+    "fig12", "fig13", "fig15", "fig16", "fig17", "fig18", "fig19", "extra-mr-scale",
+    "extra-qp-scale", "extra-recovery", "extra-reg-cost", "extra-ycsb", "ablate-occupancy", "ablate-mtt", "ablate-backoff", "ablate-inline",
+];
+
+/// Run one experiment group by id.
+pub fn run_experiment(id: &str, scale: Scale) -> Vec<Experiment> {
+    match id {
+        "fig1" => micro::fig1(),
+        "fig3" => micro::fig3(),
+        "fig4" => micro::fig4(),
+        "fig5" => micro::fig5(),
+        "table1" => micro::table1(),
+        "fig6" => micro::fig6(),
+        "fig8" => micro::fig8(),
+        "table2" => micro::table2(),
+        "table3" => micro::table3(),
+        "fig10" => {
+            let mut v = atomics::fig10a();
+            v.extend(atomics::fig10b());
+            v
+        }
+        "fig12" => appfigs::fig12(),
+        "fig13" => appfigs::fig13(),
+        "fig15" => appfigs::fig15(),
+        "fig16" => appfigs::fig16(scale),
+        "fig17" => appfigs::fig17(scale),
+        "fig18" => appfigs::fig18(),
+        "fig19" => appfigs::fig19(),
+        "extra-mr-scale" => micro::extra_mr_scale(),
+        "extra-qp-scale" => micro::extra_qp_scale(),
+        "extra-recovery" => appfigs::extra_recovery(),
+        "extra-reg-cost" => micro::extra_reg_cost(),
+        "extra-ycsb" => appfigs::extra_ycsb(),
+        "ablate-occupancy" => ablate::ablate_occupancy(),
+        "ablate-mtt" => ablate::ablate_mtt_capacity(),
+        "ablate-backoff" => ablate::ablate_backoff(),
+        "ablate-inline" => ablate::ablate_inline(),
+        other => panic!("unknown experiment id {other:?}; known: {ALL_IDS:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ids_resolve() {
+        // Run the cheapest experiments end-to-end; just resolve the rest.
+        for id in ["table2"] {
+            let exps = run_experiment(id, Scale { paper: false });
+            assert!(!exps.is_empty());
+            for e in exps {
+                assert!(!e.render().is_empty());
+            }
+        }
+    }
+}

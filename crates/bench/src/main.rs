@@ -1,0 +1,64 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all                 # every experiment (laptop scale)
+//! repro fig12 fig19         # specific ones
+//! repro all --paper-scale   # full paper input sizes (slow)
+//! repro all --out results/  # also write .dat + .gp files per experiment
+//! ```
+//!
+//! With `--out`, every series experiment also gets a gnuplot script:
+//! `cd results && gnuplot *.gp` renders the figures to SVG.
+
+use bench::{run_experiment, Scale, ALL_IDS};
+use std::path::PathBuf;
+
+fn main() {
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale { paper: false };
+    let mut out_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--paper-scale" => scale.paper = true,
+            "--out" => {
+                out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                })));
+            }
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            "--help" | "-h" => {
+                println!("usage: repro [all | <id>...] [--paper-scale] [--out DIR]");
+                println!("ids: {ALL_IDS:?}");
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("nothing to do; try `repro all` (ids: {ALL_IDS:?})");
+        std::process::exit(2);
+    }
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    for id in ids {
+        let start = std::time::Instant::now();
+        let experiments = run_experiment(&id, scale);
+        for e in experiments {
+            let rendered = e.render();
+            println!("{rendered}");
+            if let Some(dir) = &out_dir {
+                let path = dir.join(format!("{}.dat", e.id));
+                std::fs::write(&path, e.data_file()).expect("write data file");
+                if let Some(gp) = e.gnuplot() {
+                    std::fs::write(dir.join(format!("{}.gp", e.id)), gp)
+                        .expect("write gnuplot script");
+                }
+            }
+        }
+        eprintln!("[{id} done in {:.1?}]", start.elapsed());
+    }
+}

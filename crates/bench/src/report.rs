@@ -1,0 +1,204 @@
+//! Experiment output types and gnuplot-style rendering.
+
+use simcore::Series;
+use std::fmt::Write as _;
+
+/// One regenerated table or figure.
+pub struct Experiment {
+    /// Paper id, e.g. `"fig1"`, `"table3"`.
+    pub id: &'static str,
+    /// Human title (what the paper's caption says).
+    pub title: String,
+    /// The regenerated content.
+    pub output: Output,
+    /// Shape checks / caveats worth printing next to the data.
+    pub notes: Vec<String>,
+}
+
+/// Either plotted series or a preformatted table.
+pub enum Output {
+    /// (x-axis label, y-axis label, series) — one line per legend entry.
+    Series {
+        /// x-axis label.
+        x: String,
+        /// y-axis label.
+        y: String,
+        /// The lines.
+        series: Vec<Series>,
+    },
+    /// Preformatted text table.
+    Table(String),
+}
+
+impl Experiment {
+    /// Render to the terminal / experiment log.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}", self.id, self.title);
+        match &self.output {
+            Output::Series { x, y, series } => {
+                let _ = writeln!(out, "# x: {x}   y: {y}");
+                // Header row.
+                let _ = write!(out, "{:>12}", x);
+                for s in series {
+                    let _ = write!(out, " {:>18}", s.label);
+                }
+                let _ = writeln!(out);
+                // Merge x values (assume aligned grids; fall back to union).
+                let xs: Vec<f64> = series
+                    .iter()
+                    .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+                    .fold(Vec::new(), |mut acc, x| {
+                        if !acc.contains(&x) {
+                            acc.push(x);
+                        }
+                        acc
+                    });
+                for x in xs {
+                    let _ = write!(out, "{x:>12}");
+                    for s in series {
+                        match s.y_at(x) {
+                            Some(y) => {
+                                let _ = write!(out, " {y:>18.4}");
+                            }
+                            None => {
+                                let _ = write!(out, " {:>18}", "-");
+                            }
+                        }
+                    }
+                    let _ = writeln!(out);
+                }
+            }
+            Output::Table(t) => {
+                let _ = writeln!(out, "{t}");
+            }
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "# note: {n}");
+        }
+        out
+    }
+
+    /// Data-file body: like [`render`](Self::render) but with every
+    /// non-data line commented, so gnuplot (with `set datafile missing
+    /// '-'`) can read it directly.
+    pub fn data_file(&self) -> String {
+        self.render()
+            .lines()
+            .map(|l| {
+                let is_data = l
+                    .split_whitespace()
+                    .next()
+                    .is_some_and(|w| w.parse::<f64>().is_ok());
+                if is_data || l.starts_with('#') || l.is_empty() {
+                    format!("{l}\n")
+                } else {
+                    format!("# {l}\n")
+                }
+            })
+            .collect()
+    }
+
+    /// A gnuplot script rendering this experiment's `.dat` file to SVG
+    /// (`None` for table-shaped experiments).
+    pub fn gnuplot(&self) -> Option<String> {
+        let Output::Series { x, y, series } = &self.output else {
+            return None;
+        };
+        let mut gp = String::new();
+        let _ = writeln!(gp, "# gnuplot script for {} — {}", self.id, self.title);
+        let _ = writeln!(gp, "set terminal svg size 860,520 dynamic background '#ffffff'");
+        let _ = writeln!(gp, "set output '{}.svg'", self.id);
+        let _ = writeln!(gp, "set datafile missing '-'");
+        let _ = writeln!(gp, "set title \"{}\" noenhanced", self.title.replace('"', "'"));
+        let _ = writeln!(gp, "set xlabel \"{x}\" noenhanced");
+        let _ = writeln!(gp, "set ylabel \"{y}\" noenhanced");
+        let _ = writeln!(gp, "set key outside right noenhanced");
+        let _ = writeln!(gp, "set grid");
+        // Log-scale x for payload-size sweeps.
+        if x.contains("size(B)") || x.contains("entry(B)") {
+            let _ = writeln!(gp, "set logscale x 2");
+        }
+        let mut plot = String::from("plot ");
+        for (i, s) in series.iter().enumerate() {
+            if i > 0 {
+                plot.push_str(", ");
+            }
+            let _ = write!(
+                plot,
+                "'{}.dat' using 1:{} title \"{}\" with linespoints",
+                self.id,
+                i + 2,
+                s.label.replace('"', "'")
+            );
+        }
+        let _ = writeln!(gp, "{plot}");
+        Some(gp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_series() {
+        let mut a = Series::new("A");
+        a.push(1.0, 2.0);
+        a.push(2.0, 3.0);
+        let mut b = Series::new("B");
+        b.push(1.0, 5.0);
+        let e = Experiment {
+            id: "figX",
+            title: "test".into(),
+            output: Output::Series { x: "size".into(), y: "MOPS".into(), series: vec![a, b] },
+            notes: vec!["hello".into()],
+        };
+        let r = e.render();
+        assert!(r.contains("figX"));
+        assert!(r.contains("A"));
+        assert!(r.contains("5.0000"));
+        assert!(r.contains("# note: hello"));
+        assert!(r.contains('-'), "missing point rendered as dash");
+        // The data file comments out every non-data line.
+        for line in e.data_file().lines() {
+            let first = line.split_whitespace().next();
+            match first {
+                None => {}
+                Some(w) => {
+                    assert!(
+                        w.starts_with('#') || w.parse::<f64>().is_ok(),
+                        "uncommented non-data line: {line}"
+                    );
+                }
+            }
+        }
+        // And a gnuplot script references both series.
+        let gp = e.gnuplot().expect("series experiment plots");
+        assert!(gp.contains("using 1:2"));
+        assert!(gp.contains("using 1:3"));
+        assert!(gp.contains("figX.dat"));
+    }
+
+    #[test]
+    fn tables_have_no_plot() {
+        let e = Experiment {
+            id: "table2",
+            title: "t".into(),
+            output: Output::Table("cell".into()),
+            notes: vec![],
+        };
+        assert!(e.gnuplot().is_none());
+    }
+
+    #[test]
+    fn renders_tables_verbatim() {
+        let e = Experiment {
+            id: "table2",
+            title: "t".into(),
+            output: Output::Table("cell".into()),
+            notes: vec![],
+        };
+        assert!(e.render().contains("cell"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Simulated host memory: registered regions that hold real bytes.
+//!
+//! Applications in this reproduction move *actual data* — the hashtable
+//! stores key-value bytes, the join joins real tuples — so correctness is
+//! checkable, while all timing comes from the device models. Regions used
+//! purely as benchmark targets (e.g. the 2 GB region of Fig 6) can be
+//! registered *unbacked* to avoid allocating gigabytes: writes to them are
+//! timed but discarded, reads return zeros.
+
+use rnicsim::MrId;
+use std::collections::HashMap;
+
+/// One registered memory region (MR) on a machine.
+pub struct Region {
+    /// NUMA socket whose DRAM holds the region.
+    pub socket: usize,
+    /// Region length in bytes.
+    pub len: u64,
+    data: Option<Vec<u8>>,
+}
+
+impl Region {
+    /// Whether the region holds real bytes.
+    pub fn is_backed(&self) -> bool {
+        self.data.is_some()
+    }
+}
+
+/// All registered regions of one machine.
+#[derive(Default)]
+pub struct MemoryPool {
+    regions: HashMap<MrId, Region>,
+    next: u32,
+}
+
+impl MemoryPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a zero-initialized region of `len` bytes on `socket`.
+    pub fn register(&mut self, socket: usize, len: u64) -> MrId {
+        self.insert(Region { socket, len, data: Some(vec![0; len as usize]) })
+    }
+
+    /// Register a region that is timed but holds no bytes (for huge
+    /// benchmark targets).
+    pub fn register_unbacked(&mut self, socket: usize, len: u64) -> MrId {
+        self.insert(Region { socket, len, data: None })
+    }
+
+    fn insert(&mut self, region: Region) -> MrId {
+        let id = MrId(self.next);
+        self.next += 1;
+        self.regions.insert(id, region);
+        id
+    }
+
+    /// Deregister a region; returns whether it existed.
+    pub fn deregister(&mut self, mr: MrId) -> bool {
+        self.regions.remove(&mr).is_some()
+    }
+
+    /// Region metadata, if registered.
+    pub fn region(&self, mr: MrId) -> Option<&Region> {
+        self.regions.get(&mr)
+    }
+
+    /// Number of live regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Bounds check a span.
+    pub fn check(&self, mr: MrId, offset: u64, len: u64) -> bool {
+        match self.regions.get(&mr) {
+            Some(r) => offset.checked_add(len).is_some_and(|end| end <= r.len),
+            None => false,
+        }
+    }
+
+    /// Read bytes (zeros if the region is unbacked). Panics if out of
+    /// bounds — callers must `check` first; verbs surface bounds errors as
+    /// CQE statuses before touching data.
+    pub fn read(&self, mr: MrId, offset: u64, len: u64) -> Vec<u8> {
+        let r = &self.regions[&mr];
+        assert!(offset + len <= r.len, "read out of bounds");
+        match &r.data {
+            Some(d) => d[offset as usize..(offset + len) as usize].to_vec(),
+            None => vec![0; len as usize],
+        }
+    }
+
+    /// Write bytes (discarded if the region is unbacked).
+    pub fn write(&mut self, mr: MrId, offset: u64, bytes: &[u8]) {
+        let r = self.regions.get_mut(&mr).expect("unknown MR");
+        assert!(offset + bytes.len() as u64 <= r.len, "write out of bounds");
+        if let Some(d) = &mut r.data {
+            d[offset as usize..offset as usize + bytes.len()].copy_from_slice(bytes);
+        }
+    }
+
+    /// Load the u64 at `offset` (little endian). Requires a backed region
+    /// — atomics on unbacked memory would silently lose state.
+    pub fn load_u64(&self, mr: MrId, offset: u64) -> u64 {
+        let r = &self.regions[&mr];
+        let d = r.data.as_ref().expect("atomic access needs a backed region");
+        let s = &d[offset as usize..offset as usize + 8];
+        u64::from_le_bytes(s.try_into().expect("8 bytes"))
+    }
+
+    /// Store the u64 at `offset` (little endian).
+    pub fn store_u64(&mut self, mr: MrId, offset: u64, value: u64) {
+        let r = self.regions.get_mut(&mr).expect("unknown MR");
+        let d = r.data.as_mut().expect("atomic access needs a backed region");
+        d[offset as usize..offset as usize + 8].copy_from_slice(&value.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_read_write_round_trip() {
+        let mut m = MemoryPool::new();
+        let mr = m.register(0, 128);
+        m.write(mr, 10, b"hello");
+        assert_eq!(m.read(mr, 10, 5), b"hello");
+        assert_eq!(m.read(mr, 0, 4), vec![0; 4]);
+    }
+
+    #[test]
+    fn unbacked_regions_discard_and_zero() {
+        let mut m = MemoryPool::new();
+        let mr = m.register_unbacked(1, 2 << 30); // 2 GB costs nothing
+        m.write(mr, 1 << 30, b"data");
+        assert_eq!(m.read(mr, 1 << 30, 4), vec![0; 4]);
+        assert!(!m.region(mr).unwrap().is_backed());
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let mut m = MemoryPool::new();
+        let mr = m.register(0, 100);
+        assert!(m.check(mr, 0, 100));
+        assert!(m.check(mr, 99, 1));
+        assert!(!m.check(mr, 99, 2));
+        assert!(!m.check(mr, u64::MAX, 2)); // overflow-safe
+        assert!(!m.check(MrId(999), 0, 1));
+    }
+
+    #[test]
+    fn u64_load_store() {
+        let mut m = MemoryPool::new();
+        let mr = m.register(0, 64);
+        m.store_u64(mr, 8, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(m.load_u64(mr, 8), 0xDEAD_BEEF_CAFE_F00D);
+        // Little-endian byte layout.
+        assert_eq!(m.read(mr, 8, 1)[0], 0x0D);
+    }
+
+    #[test]
+    fn deregister_frees_id_space_monotonically() {
+        let mut m = MemoryPool::new();
+        let a = m.register(0, 8);
+        assert!(m.deregister(a));
+        assert!(!m.deregister(a));
+        let b = m.register(0, 8);
+        assert_ne!(a, b, "ids are never reused");
+        assert_eq!(m.region_count(), 1);
+    }
+
+    #[test]
+    fn socket_tag_is_kept() {
+        let mut m = MemoryPool::new();
+        let mr = m.register(1, 8);
+        assert_eq!(m.region(mr).unwrap().socket, 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the cluster's verb execution.
+
+use cluster::{ClusterConfig, Endpoint, Testbed, Transport};
+use proptest::prelude::*;
+use rnicsim::{CqeStatus, RKey, Sge, VerbKind, WorkRequest, WrId};
+use simcore::SimTime;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// SGL writes are equivalent to the concatenation of their pieces, for
+    /// arbitrary scatter layouts.
+    #[test]
+    fn sgl_gather_equivalence(pieces in proptest::collection::vec((0u64..64, 1u64..64), 1..8)) {
+        let mut tb = Testbed::new(ClusterConfig::two_machines());
+        let src = tb.register(0, 1, 1 << 16);
+        let dst = tb.register(1, 1, 1 << 16);
+        let conn = tb.connect(Endpoint::affine(0, 1), Endpoint::affine(1, 1));
+        // Non-overlapping source spans: page-strided slots.
+        let mut expected = Vec::new();
+        let mut sgl = Vec::new();
+        for (i, &(jitter, len)) in pieces.iter().enumerate() {
+            let off = i as u64 * 256 + jitter;
+            let fill = vec![i as u8 + 1; len as usize];
+            tb.machine_mut(0).mem.write(src, off, &fill);
+            expected.extend_from_slice(&fill);
+            sgl.push(Sge::new(src, off, len));
+        }
+        let wr = WorkRequest { wr_id: WrId(1), kind: VerbKind::Write, sgl, remote: Some((RKey(dst.0 as u64), 100)), signaled: true };
+        let cqe = tb.post_one(SimTime::ZERO, conn, wr);
+        prop_assert_eq!(cqe.status, CqeStatus::Success);
+        prop_assert_eq!(tb.machine(1).mem.read(dst, 100, expected.len() as u64), expected);
+    }
+
+    /// Completions never travel back in time, and a later post never
+    /// completes before an earlier identical one started.
+    #[test]
+    fn completions_are_causal(posts in proptest::collection::vec(1u64..2048, 1..30)) {
+        let mut tb = Testbed::new(ClusterConfig::two_machines());
+        let src = tb.register(0, 1, 1 << 16);
+        let dst = tb.register(1, 1, 1 << 16);
+        let conn = tb.connect(Endpoint::affine(0, 1), Endpoint::affine(1, 1));
+        let mut t = SimTime::ZERO;
+        for (i, &len) in posts.iter().enumerate() {
+            let wr = WorkRequest::write(i as u64, Sge::new(src, 0, len), RKey(dst.0 as u64), 0);
+            let c = tb.post_one(t, conn, wr);
+            prop_assert!(c.at > t, "completion at {} not after post at {}", c.at, t);
+            t = c.at;
+        }
+    }
+
+    /// Out-of-bounds requests always produce error CQEs without touching
+    /// memory, for any offset/length combination past the boundary.
+    #[test]
+    fn bounds_violations_are_contained(base in 0u64..4096, len in 1u64..4096) {
+        let mut tb = Testbed::new(ClusterConfig::two_machines());
+        let src = tb.register(0, 1, 1 << 16);
+        let dst = tb.register(1, 1, 4096);
+        let conn = tb.connect(Endpoint::affine(0, 1), Endpoint::affine(1, 1));
+        let off = 4096 - base.min(len - 1).min(4095) + 4096; // always past the end
+        tb.machine_mut(0).mem.write(src, 0, &[7u8; 16]);
+        let wr = WorkRequest::write(1, Sge::new(src, 0, len), RKey(dst.0 as u64), off);
+        let cqe = tb.post_one(SimTime::ZERO, conn, wr);
+        prop_assert_eq!(cqe.status, CqeStatus::RemoteAccessError);
+        // Memory untouched.
+        prop_assert_eq!(tb.machine(1).mem.read(dst, 0, 4096), vec![0u8; 4096]);
+    }
+
+    /// Interleaved FAA and CAS from two connections keep exact counter
+    /// semantics whatever the interleaving.
+    #[test]
+    fn atomic_semantics_exact(script in proptest::collection::vec((any::<bool>(), 1u64..100), 1..40)) {
+        let mut tb = Testbed::new(ClusterConfig { machines: 3, ..Default::default() });
+        let s0 = tb.register(0, 1, 64);
+        let s1 = tb.register(1, 1, 64);
+        let cell = tb.register(2, 1, 64);
+        let c0 = tb.connect(Endpoint::affine(0, 1), Endpoint::affine(2, 1));
+        let c1 = tb.connect(Endpoint::affine(1, 1), Endpoint::affine(2, 1));
+        let rkey = RKey(cell.0 as u64);
+        let mut model = 0u64;
+        let mut t = SimTime::ZERO;
+        for (i, &(use_cas, v)) in script.iter().enumerate() {
+            let (conn, scratch) = if i % 2 == 0 { (c0, s0) } else { (c1, s1) };
+            let kind = if use_cas {
+                VerbKind::CompareSwap { expected: model, desired: v }
+            } else {
+                VerbKind::FetchAdd { delta: v }
+            };
+            let wr = WorkRequest { wr_id: WrId(i as u64), kind, sgl: vec![Sge::new(scratch, 0, 8)], remote: Some((rkey, 0)), signaled: true };
+            let c = tb.post_one(t, conn, wr);
+            prop_assert_eq!(c.old_value, model);
+            model = if use_cas { v } else { model.wrapping_add(v) };
+            t = c.at;
+        }
+        prop_assert_eq!(tb.machine(2).mem.load_u64(cell, 0), model);
+    }
+
+    /// UC and RC writes land identical bytes; only timing differs.
+    #[test]
+    fn uc_rc_same_data(data in proptest::collection::vec(any::<u8>(), 1..512)) {
+        let mut images = Vec::new();
+        for transport in [Transport::Rc, Transport::Uc] {
+            let mut tb = Testbed::new(ClusterConfig::two_machines());
+            let src = tb.register(0, 1, 4096);
+            let dst = tb.register(1, 1, 4096);
+            let conn = tb.connect_with(Endpoint::affine(0, 1), Endpoint::affine(1, 1), transport);
+            tb.machine_mut(0).mem.write(src, 0, &data);
+            let wr = WorkRequest::write(1, Sge::new(src, 0, data.len() as u64), RKey(dst.0 as u64), 7);
+            tb.post_one(SimTime::ZERO, conn, wr);
+            images.push(tb.machine(1).mem.read(dst, 7, data.len() as u64));
+        }
+        prop_assert_eq!(&images[0], &data);
+        prop_assert_eq!(&images[1], &data);
+    }
+}

@@ -1,0 +1,124 @@
+//! Closed-form contention model for **local** atomic operations.
+//!
+//! Reproduces the local curves of Fig 10: an uncontended CAS/FAA costs a
+//! few nanoseconds, but once several cores hammer the same cache line the
+//! line bounces between private caches on every operation and — for
+//! spinlocks — the spinning losers inject extra coherence traffic that
+//! grows with the contender count. The paper's local spinlock collapses to
+//! ~1 % of its single-thread throughput at 14 threads; exponential backoff
+//! removes the quadratic term.
+//!
+//! The *remote* counterparts (RDMA CAS/FAA) are simulated event-by-event
+//! in the `cluster`/`remem` crates; only the local CPU side is closed-form.
+
+use crate::config::HostMemConfig;
+
+/// Cost in nanoseconds of one fetch-and-add when `threads` cores target the
+/// same cache line.
+pub fn faa_op_cost_ns(cfg: &HostMemConfig, threads: usize) -> f64 {
+    assert!(threads >= 1);
+    let base = cfg.atomic_base.as_ns();
+    if threads == 1 {
+        return base;
+    }
+    let n = threads as f64;
+    let bounce = cfg.line_bounce.as_ns();
+    let c = cfg.faa_contention_centi as f64 / 100.0;
+    // Every op must acquire line ownership (bounce), and arbitration gets
+    // slightly less efficient as more cores queue on the line.
+    base + bounce * ((n - 1.0) / n) * (1.0 + c * (n - 1.0))
+}
+
+/// Aggregate sequencer throughput (MOPS) for `threads` local threads doing
+/// FAA on one shared counter — the serialized line is the bottleneck.
+pub fn local_sequencer_mops(cfg: &HostMemConfig, threads: usize) -> f64 {
+    1_000.0 / faa_op_cost_ns(cfg, threads)
+}
+
+/// Aggregate lock/unlock-cycle throughput (MOPS) for `threads` local
+/// threads contending one spinlock.
+///
+/// Without backoff, the handoff cost grows superlinearly with contenders
+/// (losers' CAS traffic delays the owner's release — the classic
+/// test-and-set collapse, Anderson 1990). With exponential backoff the
+/// degradation is merely linear.
+pub fn local_spinlock_mops(cfg: &HostMemConfig, threads: usize, backoff: bool) -> f64 {
+    assert!(threads >= 1);
+    let base = 2.0 * cfg.atomic_base.as_ns(); // acquire CAS + release store
+    let n = (threads - 1) as f64;
+    let cost = if backoff {
+        let a = cfg.lock_backoff_centi as f64 / 100.0;
+        base * (1.0 + a * n) + cfg.line_bounce.as_ns() * (n / threads as f64)
+    } else {
+        let a = cfg.lock_linear_centi as f64 / 100.0;
+        let b = cfg.lock_quad_centi as f64 / 100.0;
+        base * (1.0 + a * n + b * n * n)
+    };
+    1_000.0 / cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HostMemConfig {
+        HostMemConfig::default()
+    }
+
+    #[test]
+    fn uncontended_rates() {
+        let c = cfg();
+        // 10 ns FAA -> 100 MOPS sequencer; 20 ns cycle -> 50 MOPS lock.
+        assert!((local_sequencer_mops(&c, 1) - 100.0).abs() < 1e-9);
+        assert!((local_spinlock_mops(&c, 1, false) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequencer_degrades_smoothly_but_stays_usable() {
+        let c = cfg();
+        let t1 = local_sequencer_mops(&c, 1);
+        let t16 = local_sequencer_mops(&c, 16);
+        assert!(t16 < t1 / 5.0, "should drop a lot: {t16}");
+        assert!(t16 > 5.0, "but stay in the MOPS range: {t16}");
+        // Monotone non-increasing in thread count.
+        let mut prev = f64::INFINITY;
+        for n in 1..=16 {
+            let t = local_sequencer_mops(&c, n);
+            assert!(t <= prev + 1e-12);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn plain_spinlock_collapses_at_14_threads() {
+        let c = cfg();
+        let t1 = local_spinlock_mops(&c, 1, false);
+        let t14 = local_spinlock_mops(&c, 14, false);
+        let retained = t14 / t1;
+        // Paper: throughput reduces to ~1.2 % of single-thread.
+        assert!(retained < 0.02, "retained {retained}");
+        assert!(retained > 0.001, "retained {retained}");
+    }
+
+    #[test]
+    fn backoff_beats_plain_under_contention() {
+        let c = cfg();
+        for n in 2..=14 {
+            assert!(
+                local_spinlock_mops(&c, n, true) > local_spinlock_mops(&c, n, false),
+                "backoff must win at {n} threads"
+            );
+        }
+        // And by a wide margin at 14 threads.
+        let ratio = local_spinlock_mops(&c, 14, true) / local_spinlock_mops(&c, 14, false);
+        assert!(ratio > 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn backoff_has_no_benefit_single_threaded() {
+        let c = cfg();
+        let plain = local_spinlock_mops(&c, 1, false);
+        let backoff = local_spinlock_mops(&c, 1, true);
+        assert!((plain - backoff).abs() / plain < 1e-9);
+    }
+}

@@ -1,0 +1,197 @@
+//! Calibrated constants for the host memory system.
+//!
+//! The defaults model the paper's testbed node: dual-socket Intel Xeon
+//! E5-2640 v2 (8 cores / socket, 2.0 GHz), 20 MB shared L3, 96 GB DRAM
+//! split evenly across sockets, QPI between sockets. Anchor points taken
+//! from the paper:
+//!
+//! * Table II: local-socket DRAM latency 92 ns / 3.70 GB/s; remote-socket
+//!   162 ns / 2.27 GB/s (Intel MLC, single thread).
+//! * §I / §III-B: sequential local write ≈ 2.92× faster than random write
+//!   and 6.85× faster than inter-socket random write.
+//! * §II-B4: non-local access costs 40–150 % more latency.
+
+use simcore::SimTime;
+
+/// Whether a memory access streams through addresses or jumps around.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Consecutive addresses: row-buffer and prefetcher friendly.
+    Seq,
+    /// Uniformly random addresses in a large region: every line misses.
+    Rand,
+}
+
+/// Load vs. store stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemOp {
+    /// Memory load.
+    Read,
+    /// Memory store.
+    Write,
+}
+
+/// Calibrated parameters of one NUMA host.
+#[derive(Clone, Debug)]
+pub struct HostMemConfig {
+    /// Number of CPU sockets.
+    pub sockets: usize,
+    /// Physical cores per socket.
+    pub cores_per_socket: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Idle DRAM load-to-use latency from the local socket (Table II: 92 ns).
+    pub local_latency: SimTime,
+    /// Idle DRAM latency crossing QPI to the other socket (Table II: 162 ns).
+    pub remote_latency: SimTime,
+    /// Single-thread streaming bandwidth to local-socket DRAM (3.70 GB/s).
+    pub local_stream_gbs: f64,
+    /// Single-thread streaming bandwidth across QPI (2.27 GB/s).
+    pub remote_stream_gbs: f64,
+
+    // ---- closed-loop per-operation issue costs (loop + address generation
+    // ---- + cache interaction), calibrated to reproduce Fig 6(c) ----
+    /// Base cost of one sequential write op at ≤1 cache line.
+    pub seq_write_base: SimTime,
+    /// Base cost of one random write op at ≤1 cache line (2.92× slower).
+    pub rand_write_base: SimTime,
+    /// Base cost of one sequential read op at ≤1 cache line.
+    pub seq_read_base: SimTime,
+    /// Base cost of one random read op at ≤1 cache line.
+    pub rand_read_base: SimTime,
+    /// Extra cost per additional cache line for sequential ops (streaming).
+    pub seq_per_line: SimTime,
+    /// Extra cost per additional cache line for random ops (row misses with
+    /// limited memory-level parallelism).
+    pub rand_per_line: SimTime,
+    /// Multiplier (numerator over denominator of 100) applied to random
+    /// base costs when the access crosses QPI; calibrated so inter-socket
+    /// random write is ≈ 6.85× slower than local sequential write.
+    pub cross_socket_pct: u64,
+
+    // ---- software costs used across the stack ----
+    /// Per-byte cost of a CPU `memcpy` (hot caches, ~12 GB/s single-thread).
+    pub memcpy_ps_per_byte: u64,
+    /// Fixed cost of one syscall (entry/exit, used by readv/writev model).
+    pub syscall_cost: SimTime,
+    /// Per-iovec bookkeeping cost inside the kernel for vectored IO.
+    pub iovec_cost: SimTime,
+    /// Cost of an L1-hit load/store pair, the floor for any touch.
+    pub l1_touch: SimTime,
+
+    // ---- local atomics (Fig 10 closed-form contention model) ----
+    /// Uncontended CAS or FAA on an owned line.
+    pub atomic_base: SimTime,
+    /// Cache-line ownership transfer between cores (same socket).
+    pub line_bounce: SimTime,
+    /// Linear contention coefficient (per extra contender, ×1e-2).
+    pub faa_contention_centi: u64,
+    /// Linear term of spinlock handoff degradation (×1e-2).
+    pub lock_linear_centi: u64,
+    /// Quadratic term of spinlock handoff degradation (×1e-2).
+    pub lock_quad_centi: u64,
+    /// Linear degradation with exponential backoff applied (×1e-2).
+    pub lock_backoff_centi: u64,
+}
+
+impl Default for HostMemConfig {
+    fn default() -> Self {
+        HostMemConfig {
+            sockets: 2,
+            cores_per_socket: 8,
+            line_bytes: 64,
+            local_latency: SimTime::from_ns(92),
+            remote_latency: SimTime::from_ns(162),
+            local_stream_gbs: 3.70,
+            remote_stream_gbs: 2.27,
+
+            // Fig 6(c) calibration: small-payload plateaus of roughly
+            // 78 / 27 / 62 / 15 MOPS for seq-write / rand-write /
+            // seq-read / rand-read, with write-seq ≈ 2.92× write-rand.
+            seq_write_base: SimTime::from_ps(12_800),
+            rand_write_base: SimTime::from_ps(37_400), // 2.92× seq_write_base
+            seq_read_base: SimTime::from_ps(16_100),
+            rand_read_base: SimTime::from_ps(66_000),
+            seq_per_line: SimTime::from_ps(2_100),
+            rand_per_line: SimTime::from_ps(17_000),
+            // 6.85 / 2.92 ≈ 2.35× extra for crossing QPI on random ops.
+            cross_socket_pct: 235,
+
+            memcpy_ps_per_byte: 83, // ≈ 12 GB/s
+            syscall_cost: SimTime::from_ns(420),
+            iovec_cost: SimTime::from_ns(9),
+            l1_touch: SimTime::from_ps(1_500),
+
+            atomic_base: SimTime::from_ns(10),
+            line_bounce: SimTime::from_ns(40),
+            faa_contention_centi: 8,
+            lock_linear_centi: 200,
+            lock_quad_centi: 470,
+            lock_backoff_centi: 25,
+        }
+    }
+}
+
+impl HostMemConfig {
+    /// Cache lines touched by a payload of `bytes`.
+    pub fn lines(&self, bytes: usize) -> u64 {
+        (bytes.max(1)).div_ceil(self.line_bytes) as u64
+    }
+
+    /// Cost of copying `bytes` with the CPU (SP staging, proxy forwarding).
+    pub fn memcpy_cost(&self, bytes: usize) -> SimTime {
+        SimTime::from_ps(bytes as u64 * self.memcpy_ps_per_byte)
+    }
+
+    /// ps/byte of the single-thread stream to local or remote-socket DRAM.
+    pub fn stream_ps_per_byte(&self, cross_socket: bool) -> u64 {
+        let gbs = if cross_socket { self.remote_stream_gbs } else { self.local_stream_gbs };
+        simcore::ps_per_byte_gbs(gbs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table2_anchors() {
+        let c = HostMemConfig::default();
+        assert_eq!(c.local_latency, SimTime::from_ns(92));
+        assert_eq!(c.remote_latency, SimTime::from_ns(162));
+        assert!((c.local_stream_gbs - 3.70).abs() < 1e-9);
+        assert!((c.remote_stream_gbs - 2.27).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_asymmetry_ratio_is_2_92() {
+        let c = HostMemConfig::default();
+        let ratio = c.rand_write_base.as_ns() / c.seq_write_base.as_ns();
+        assert!((ratio - 2.92).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn line_counting() {
+        let c = HostMemConfig::default();
+        assert_eq!(c.lines(0), 1);
+        assert_eq!(c.lines(1), 1);
+        assert_eq!(c.lines(64), 1);
+        assert_eq!(c.lines(65), 2);
+        assert_eq!(c.lines(8192), 128);
+    }
+
+    #[test]
+    fn memcpy_cost_scales_linearly() {
+        let c = HostMemConfig::default();
+        assert_eq!(c.memcpy_cost(0), SimTime::ZERO);
+        assert_eq!(c.memcpy_cost(1000).as_ps(), 83_000);
+    }
+
+    #[test]
+    fn stream_rates() {
+        let c = HostMemConfig::default();
+        // 3.7 GB/s -> ~270 ps/byte; 2.27 GB/s -> ~441 ps/byte.
+        assert_eq!(c.stream_ps_per_byte(false), 270);
+        assert_eq!(c.stream_ps_per_byte(true), 441);
+    }
+}

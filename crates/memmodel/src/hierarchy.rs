@@ -1,0 +1,152 @@
+//! Per-access cost model of the cache/DRAM hierarchy.
+//!
+//! This is a closed-form model rather than a cycle simulator: one access of
+//! a given (op, pattern, payload, socket locality) has a deterministic cost
+//! built from the calibrated constants in [`HostMemConfig`]. The model
+//! reproduces the asymmetries the paper measures in Fig 6(c) and §III-B:
+//!
+//! * sequential beats random (row-buffer hits + prefetching vs. per-line
+//!   row misses),
+//! * writes beat reads in the closed-loop MOPS sense (store buffers hide
+//!   completion; loads are dependent),
+//! * crossing QPI multiplies random-access cost and caps streaming
+//!   bandwidth.
+
+use crate::config::{HostMemConfig, MemOp, Pattern};
+use simcore::SimTime;
+
+/// Cost of one closed-loop access of `payload` bytes.
+///
+/// `cross_socket` means the core issuing the access and the DRAM holding
+/// the data are on different sockets (one QPI hop).
+pub fn access_cost(
+    cfg: &HostMemConfig,
+    op: MemOp,
+    pat: Pattern,
+    payload: usize,
+    cross_socket: bool,
+) -> SimTime {
+    let lines = cfg.lines(payload);
+    let (base, per_line) = match (op, pat) {
+        (MemOp::Write, Pattern::Seq) => (cfg.seq_write_base, cfg.seq_per_line),
+        (MemOp::Write, Pattern::Rand) => (cfg.rand_write_base, cfg.rand_per_line),
+        (MemOp::Read, Pattern::Seq) => (cfg.seq_read_base, cfg.seq_per_line),
+        (MemOp::Read, Pattern::Rand) => (cfg.rand_read_base, cfg.rand_per_line),
+    };
+    let mut cost = base + per_line * (lines - 1);
+    if cross_socket {
+        match pat {
+            // Random accesses pay the QPI round trip on (almost) every line.
+            Pattern::Rand => cost = cost.scale(cfg.cross_socket_pct, 100),
+            // Sequential streams pay once up front; the bandwidth floor
+            // below carries the sustained penalty.
+            Pattern::Seq => cost += cfg.remote_latency - cfg.local_latency,
+        }
+    }
+    // Large payloads can never move faster than the streaming bandwidth
+    // allows. The floor covers only the bytes beyond the first line:
+    // single-line ops are issue-bound, not stream-bound (Table II's GB/s
+    // figure is measured on long streams).
+    let stream_bytes = payload.saturating_sub(cfg.line_bytes) as u64;
+    let floor = SimTime::from_ps(stream_bytes * cfg.stream_ps_per_byte(cross_socket));
+    cost.max(floor)
+}
+
+/// Single-thread closed-loop throughput in MOPS for the given access kind.
+pub fn throughput_mops(
+    cfg: &HostMemConfig,
+    op: MemOp,
+    pat: Pattern,
+    payload: usize,
+    cross_socket: bool,
+) -> f64 {
+    let cost = access_cost(cfg, op, pat, payload, cross_socket);
+    1_000.0 / cost.as_ns()
+}
+
+/// Extra one-way latency contributed by one QPI hop (Table II: 162 − 92 ns).
+pub fn qpi_hop_latency(cfg: &HostMemConfig) -> SimTime {
+    cfg.remote_latency - cfg.local_latency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HostMemConfig {
+        HostMemConfig::default()
+    }
+
+    #[test]
+    fn seq_write_is_2_92x_faster_than_rand_write() {
+        let c = cfg();
+        let seq = throughput_mops(&c, MemOp::Write, Pattern::Seq, 64, false);
+        let rand = throughput_mops(&c, MemOp::Write, Pattern::Rand, 64, false);
+        let ratio = seq / rand;
+        assert!((ratio - 2.92).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn inter_socket_rand_write_is_about_6_85x_slower_than_seq() {
+        let c = cfg();
+        let seq = throughput_mops(&c, MemOp::Write, Pattern::Seq, 64, false);
+        let cross = throughput_mops(&c, MemOp::Write, Pattern::Rand, 64, true);
+        let ratio = seq / cross;
+        assert!((ratio - 6.85).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn read_random_is_the_slowest_local_pattern() {
+        let c = cfg();
+        let rr = throughput_mops(&c, MemOp::Read, Pattern::Rand, 64, false);
+        for (op, pat) in [
+            (MemOp::Write, Pattern::Seq),
+            (MemOp::Write, Pattern::Rand),
+            (MemOp::Read, Pattern::Seq),
+        ] {
+            assert!(throughput_mops(&c, op, pat, 64, false) > rr);
+        }
+    }
+
+    #[test]
+    fn large_payloads_hit_the_bandwidth_floor() {
+        let c = cfg();
+        // At 8 KB sequential the 3.7 GB/s stream floor dominates:
+        // (8192 − 64) B × 270 ps ≈ 2.19 us per op.
+        let cost = access_cost(&c, MemOp::Write, Pattern::Seq, 8192, false);
+        assert_eq!(cost.as_ps(), (8192 - 64) * 270);
+        // Cross-socket streams are capped lower (2.27 GB/s).
+        let cross = access_cost(&c, MemOp::Write, Pattern::Seq, 8192, true);
+        assert!(cross > cost);
+    }
+
+    #[test]
+    fn cost_is_monotonic_in_payload() {
+        let c = cfg();
+        for op in [MemOp::Read, MemOp::Write] {
+            for pat in [Pattern::Seq, Pattern::Rand] {
+                let mut prev = SimTime::ZERO;
+                for shift in 0..14 {
+                    let cost = access_cost(&c, op, pat, 1usize << shift, false);
+                    assert!(cost >= prev, "{op:?} {pat:?} at 2^{shift}");
+                    prev = cost;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qpi_hop_is_70ns_by_default() {
+        assert_eq!(qpi_hop_latency(&cfg()), SimTime::from_ns(70));
+    }
+
+    #[test]
+    fn non_local_latency_penalty_in_paper_range() {
+        // §II-B4: non-local accesses cost 40–150 % more latency.
+        let c = cfg();
+        let local = access_cost(&c, MemOp::Read, Pattern::Rand, 64, false);
+        let remote = access_cost(&c, MemOp::Read, Pattern::Rand, 64, true);
+        let extra = remote.as_ns() / local.as_ns() - 1.0;
+        assert!((0.40..=1.50).contains(&extra), "extra {extra}");
+    }
+}

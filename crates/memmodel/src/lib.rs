@@ -1,0 +1,36 @@
+//! # memmodel — host memory hierarchy of the simulated testbed
+//!
+//! Models one dual-socket NUMA node of the paper's cluster: cache/DRAM
+//! access costs (sequential vs. random, local vs. cross-socket), QPI,
+//! single-thread streaming bandwidth, local atomic-operation contention,
+//! and the local `readv`/`writev` baselines. Calibrated to the paper's
+//! Table II, Fig 6(c), and Fig 10 local curves; see each module's docs
+//! for the anchor points.
+//!
+//! ## Example
+//!
+//! ```
+//! use memmodel::{HostMemConfig, MemOp, Pattern, throughput_mops};
+//!
+//! let cfg = HostMemConfig::default();
+//! let seq = throughput_mops(&cfg, MemOp::Write, Pattern::Seq, 64, false);
+//! let rand = throughput_mops(&cfg, MemOp::Write, Pattern::Rand, 64, false);
+//! assert!(seq / rand > 2.5); // the paper's 2.92x write asymmetry
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomics;
+pub mod config;
+pub mod dram;
+pub mod hierarchy;
+pub mod probe;
+pub mod vecio;
+
+pub use atomics::{faa_op_cost_ns, local_sequencer_mops, local_spinlock_mops};
+pub use config::{HostMemConfig, MemOp, Pattern};
+pub use dram::{DramModel, DramTiming};
+pub use hierarchy::{access_cost, qpi_hop_latency, throughput_mops};
+pub use probe::{fig6c_series, pointer_chase, table2, SocketProbe};
+pub use vecio::{vectored_call_cost, vectored_mops};

@@ -1,0 +1,126 @@
+//! MLC-style probes: produce Table II and Fig 6(c) data from the model.
+
+use crate::config::{HostMemConfig, MemOp, Pattern};
+use crate::hierarchy::{access_cost, throughput_mops};
+use simcore::{Series, SimTime};
+
+/// One row of Table II: idle latency and single-thread bandwidth of a
+/// socket's DRAM as seen from a probing core.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SocketProbe {
+    /// Load-to-use latency of a dependent pointer chase.
+    pub latency: SimTime,
+    /// Streaming bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+/// Table II: probe local-socket and remote-socket memory the way Intel MLC
+/// does — a dependent pointer chase for latency, a long stream for
+/// bandwidth.
+pub fn table2(cfg: &HostMemConfig) -> (SocketProbe, SocketProbe) {
+    (probe_socket(cfg, false), probe_socket(cfg, true))
+}
+
+fn probe_socket(cfg: &HostMemConfig, cross_socket: bool) -> SocketProbe {
+    // Latency: a chain of dependent single-line loads; each pays the full
+    // idle DRAM (± QPI) latency, no overlap possible.
+    const CHASES: u64 = 4096;
+    let per = if cross_socket { cfg.remote_latency } else { cfg.local_latency };
+    let total = per * CHASES;
+    let latency = total / CHASES;
+
+    // Bandwidth: stream a large buffer and divide.
+    const STREAM_BYTES: u64 = 64 << 20;
+    let span = SimTime::from_ps(STREAM_BYTES * cfg.stream_ps_per_byte(cross_socket));
+    let bandwidth_gbs = STREAM_BYTES as f64 / span.as_ns();
+    SocketProbe { latency, bandwidth_gbs }
+}
+
+/// Fig 6(c): local DRAM read/write × seq/rand throughput over payload sizes
+/// 2^0..=2^13 bytes. Returns the four series in the paper's legend order.
+pub fn fig6c_series(cfg: &HostMemConfig) -> Vec<Series> {
+    let combos = [
+        ("write-rand", MemOp::Write, Pattern::Rand),
+        ("write-seq", MemOp::Write, Pattern::Seq),
+        ("read-rand", MemOp::Read, Pattern::Rand),
+        ("read-seq", MemOp::Read, Pattern::Seq),
+    ];
+    combos
+        .into_iter()
+        .map(|(label, op, pat)| {
+            let mut s = Series::new(label);
+            for shift in 0..=13u32 {
+                let payload = 1usize << shift;
+                s.push(payload as f64, throughput_mops(cfg, op, pat, payload, false));
+            }
+            s
+        })
+        .collect()
+}
+
+/// Latency of `n` dependent accesses — exposed for tests and examples that
+/// want to "run" a probe rather than read constants.
+pub fn pointer_chase(cfg: &HostMemConfig, n: u64, cross_socket: bool) -> SimTime {
+    let mut t = SimTime::ZERO;
+    for _ in 0..n {
+        t += access_cost(cfg, MemOp::Read, Pattern::Rand, 8, cross_socket)
+            .max(if cross_socket { cfg.remote_latency } else { cfg.local_latency });
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper_anchors() {
+        let (local, remote) = table2(&HostMemConfig::default());
+        assert_eq!(local.latency, SimTime::from_ns(92));
+        assert_eq!(remote.latency, SimTime::from_ns(162));
+        assert!((local.bandwidth_gbs - 3.70).abs() < 0.01, "{}", local.bandwidth_gbs);
+        assert!((remote.bandwidth_gbs - 2.27).abs() < 0.01, "{}", remote.bandwidth_gbs);
+    }
+
+    #[test]
+    fn fig6c_has_four_series_of_14_points() {
+        let series = fig6c_series(&HostMemConfig::default());
+        assert_eq!(series.len(), 4);
+        for s in &series {
+            assert_eq!(s.points.len(), 14);
+        }
+    }
+
+    #[test]
+    fn fig6c_seq_beats_rand_at_every_size() {
+        let series = fig6c_series(&HostMemConfig::default());
+        let get = |label: &str| series.iter().find(|s| s.label == label).unwrap();
+        for (seq, rand) in [("write-seq", "write-rand"), ("read-seq", "read-rand")] {
+            let s = get(seq);
+            let r = get(rand);
+            for (i, &(x, y)) in s.points.iter().enumerate() {
+                assert!(y > r.points[i].1, "{seq} <= {rand} at {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig6c_converges_at_large_payloads() {
+        // Once the bandwidth floor dominates, seq and rand of the same op
+        // approach each other (both stream-bound).
+        let series = fig6c_series(&HostMemConfig::default());
+        let get = |label: &str| series.iter().find(|s| s.label == label).unwrap();
+        let ws = get("write-seq").points.last().unwrap().1;
+        let wr = get("write-rand").points.last().unwrap().1;
+        assert!(ws / wr < 2.0, "seq/rand at 8 KB: {}", ws / wr);
+    }
+
+    #[test]
+    fn pointer_chase_scales_linearly() {
+        let cfg = HostMemConfig::default();
+        let t1 = pointer_chase(&cfg, 100, false);
+        let t2 = pointer_chase(&cfg, 200, false);
+        assert_eq!(t2.as_ps(), 2 * t1.as_ps());
+        assert!(pointer_chase(&cfg, 100, true) > t1);
+    }
+}

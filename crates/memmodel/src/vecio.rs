@@ -1,0 +1,103 @@
+//! Local vectored-IO (`readv`/`writev`) cost model.
+//!
+//! Fig 4 of the paper compares the three RDMA batching strategies against
+//! batched *local* memory operations issued through the POSIX vectored-IO
+//! syscalls. One call moves `batch` buffers of `payload` bytes each: the
+//! syscall overhead is paid once, then each iovec costs bookkeeping plus
+//! the data movement. Gathering reads from scattered sources additionally
+//! pays a per-buffer cache-miss penalty, which is why the paper's local
+//! read baseline sits well below its write baseline (SP at batch 32
+//! reaches ≈44 % of local write but ≈117 % of local read).
+
+use crate::config::{HostMemConfig, MemOp};
+use simcore::SimTime;
+
+/// Per-buffer penalty for gathering scattered *source* lines on reads.
+/// Scattered destinations (writes) hide behind store buffers; scattered
+/// dependent loads do not.
+const READV_GATHER_PENALTY: SimTime = SimTime::from_ns(48);
+
+/// Cost of one `readv`/`writev` call moving `batch` buffers of `payload`
+/// bytes each.
+pub fn vectored_call_cost(
+    cfg: &HostMemConfig,
+    op: MemOp,
+    batch: usize,
+    payload: usize,
+) -> SimTime {
+    assert!(batch >= 1, "vectored call needs at least one iovec");
+    let per_buffer = cfg.iovec_cost
+        + cfg.memcpy_cost(payload)
+        + cfg.l1_touch
+        + match op {
+            MemOp::Read => READV_GATHER_PENALTY,
+            MemOp::Write => SimTime::ZERO,
+        };
+    cfg.syscall_cost + per_buffer * batch as u64
+}
+
+/// Closed-loop throughput in buffer-operations per microsecond (MOPS) of
+/// repeatedly issuing vectored calls.
+pub fn vectored_mops(cfg: &HostMemConfig, op: MemOp, batch: usize, payload: usize) -> f64 {
+    let cost = vectored_call_cost(cfg, op, batch, payload);
+    batch as f64 * 1_000.0 / cost.as_ns()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HostMemConfig {
+        HostMemConfig::default()
+    }
+
+    #[test]
+    fn batching_amortizes_the_syscall() {
+        let c = cfg();
+        let single = vectored_mops(&c, MemOp::Write, 1, 32);
+        let batched = vectored_mops(&c, MemOp::Write, 32, 32);
+        assert!(batched > 5.0 * single, "single {single} batched {batched}");
+    }
+
+    #[test]
+    fn local_write_beats_local_read() {
+        let c = cfg();
+        for batch in [1, 4, 16, 32] {
+            assert!(
+                vectored_mops(&c, MemOp::Write, batch, 32)
+                    > vectored_mops(&c, MemOp::Read, batch, 32)
+            );
+        }
+    }
+
+    #[test]
+    fn fig4_anchor_magnitudes() {
+        // At batch 32 / 32 B the paper's local write baseline is in the
+        // tens of MOPS and the read baseline roughly 2-3x lower.
+        let c = cfg();
+        let w = vectored_mops(&c, MemOp::Write, 32, 32);
+        let r = vectored_mops(&c, MemOp::Read, 32, 32);
+        assert!((25.0..=50.0).contains(&w), "write {w}");
+        assert!((8.0..=20.0).contains(&r), "read {r}");
+    }
+
+    #[test]
+    fn throughput_monotone_in_batch() {
+        let c = cfg();
+        let mut prev = 0.0;
+        for batch in [1, 2, 4, 8, 16, 32] {
+            let t = vectored_mops(&c, MemOp::Write, batch, 32);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn cost_grows_with_payload() {
+        let c = cfg();
+        assert!(
+            vectored_call_cost(&c, MemOp::Write, 4, 4096)
+                > vectored_call_cost(&c, MemOp::Write, 4, 64)
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the host memory model.
+
+use memmodel::{
+    access_cost, faa_op_cost_ns, local_sequencer_mops, local_spinlock_mops, throughput_mops,
+    vectored_call_cost, vectored_mops, HostMemConfig, MemOp, Pattern,
+};
+use proptest::prelude::*;
+
+fn ops() -> impl Strategy<Value = MemOp> {
+    prop_oneof![Just(MemOp::Read), Just(MemOp::Write)]
+}
+
+fn patterns() -> impl Strategy<Value = Pattern> {
+    prop_oneof![Just(Pattern::Seq), Just(Pattern::Rand)]
+}
+
+proptest! {
+    /// Access cost is monotone in payload for every access kind.
+    #[test]
+    fn cost_monotone_in_payload(op in ops(), pat in patterns(), cross in any::<bool>(), a in 1usize..1 << 16, b in 1usize..1 << 16) {
+        let cfg = HostMemConfig::default();
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(access_cost(&cfg, op, pat, lo, cross) <= access_cost(&cfg, op, pat, hi, cross));
+    }
+
+    /// Crossing QPI never makes an access cheaper.
+    #[test]
+    fn cross_socket_never_cheaper(op in ops(), pat in patterns(), payload in 1usize..1 << 16) {
+        let cfg = HostMemConfig::default();
+        prop_assert!(
+            access_cost(&cfg, op, pat, payload, true) >= access_cost(&cfg, op, pat, payload, false)
+        );
+    }
+
+    /// Sequential access never loses to random access of the same kind.
+    #[test]
+    fn seq_never_loses(op in ops(), cross in any::<bool>(), payload in 1usize..1 << 16) {
+        let cfg = HostMemConfig::default();
+        prop_assert!(
+            access_cost(&cfg, op, Pattern::Seq, payload, cross)
+                <= access_cost(&cfg, op, Pattern::Rand, payload, cross)
+        );
+    }
+
+    /// Throughput and cost are reciprocal.
+    #[test]
+    fn throughput_cost_reciprocal(op in ops(), pat in patterns(), payload in 1usize..8192) {
+        let cfg = HostMemConfig::default();
+        let cost = access_cost(&cfg, op, pat, payload, false);
+        let tput = throughput_mops(&cfg, op, pat, payload, false);
+        prop_assert!((tput * cost.as_ns() - 1000.0).abs() < 1e-6);
+    }
+
+    /// Vectored IO: per-buffer throughput is monotone non-decreasing in
+    /// batch size (the syscall amortizes), and total call cost is monotone
+    /// increasing in both batch and payload.
+    #[test]
+    fn vectored_monotonicity(op in ops(), b1 in 1usize..64, b2 in 1usize..64, payload in 1usize..4096) {
+        let cfg = HostMemConfig::default();
+        let (lo, hi) = (b1.min(b2), b1.max(b2));
+        prop_assert!(vectored_mops(&cfg, op, lo, payload) <= vectored_mops(&cfg, op, hi, payload) + 1e-9);
+        prop_assert!(vectored_call_cost(&cfg, op, lo, payload) <= vectored_call_cost(&cfg, op, hi, payload));
+    }
+
+    /// Atomic contention models: costs grow with thread count; backoff is
+    /// never worse than plain.
+    #[test]
+    fn atomics_monotone(n1 in 1usize..16, n2 in 1usize..16) {
+        let cfg = HostMemConfig::default();
+        let (lo, hi) = (n1.min(n2), n1.max(n2));
+        prop_assert!(faa_op_cost_ns(&cfg, lo) <= faa_op_cost_ns(&cfg, hi) + 1e-9);
+        prop_assert!(local_sequencer_mops(&cfg, hi) <= local_sequencer_mops(&cfg, lo) + 1e-9);
+        prop_assert!(local_spinlock_mops(&cfg, hi, false) <= local_spinlock_mops(&cfg, lo, false) + 1e-9);
+        prop_assert!(
+            local_spinlock_mops(&cfg, n1.max(1), true) + 1e-9 >= local_spinlock_mops(&cfg, n1.max(1), false)
+        );
+    }
+}
+
+#[test]
+fn table2_probe_is_consistent_with_hierarchy() {
+    // The MLC-style probe and the access-cost model must agree on the
+    // latency ordering and QPI gap.
+    let cfg = HostMemConfig::default();
+    let (local, remote) = memmodel::table2(&cfg);
+    assert!(remote.latency > local.latency);
+    assert!(remote.bandwidth_gbs < local.bandwidth_gbs);
+    assert_eq!(
+        (remote.latency - local.latency),
+        memmodel::qpi_hop_latency(&cfg)
+    );
+}

@@ -1,0 +1,199 @@
+//! Verb-level types: work requests, scatter/gather entries, completions.
+//!
+//! These mirror the `ibverbs` structures the paper's benchmarks are
+//! written against, reduced to what the cost model and the simulated
+//! memory system need.
+
+use simcore::SimTime;
+
+/// Queue pair number, unique per machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QpNum(pub u32);
+
+/// Memory region id, unique per machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MrId(pub u32);
+
+/// Remote protection key handed out at registration; needed by one-sided
+/// verbs to touch a remote MR.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RKey(pub u64);
+
+/// Caller-chosen work-request identifier, echoed in the completion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WrId(pub u64);
+
+/// One scatter/gather element: a span inside a registered region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sge {
+    /// Source (or destination) memory region.
+    pub mr: MrId,
+    /// Byte offset inside the region.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Sge {
+    /// Convenience constructor.
+    pub fn new(mr: MrId, offset: u64, len: u64) -> Self {
+        Sge { mr, offset, len }
+    }
+}
+
+/// The one-sided and two-sided operations the paper exercises.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerbKind {
+    /// One-sided write of the local SGL to contiguous remote memory.
+    Write,
+    /// One-sided read of contiguous remote memory into the local SGL.
+    Read,
+    /// 8-byte compare-and-swap at a remote address.
+    CompareSwap {
+        /// Value the remote location must hold for the swap to happen.
+        expected: u64,
+        /// Value written on success.
+        desired: u64,
+    },
+    /// 8-byte fetch-and-add at a remote address.
+    FetchAdd {
+        /// Addend.
+        delta: u64,
+    },
+    /// Two-sided send (channel semantics; pairs with a posted recv).
+    Send,
+}
+
+impl VerbKind {
+    /// Whether this verb is a memory-semantic (one-sided) operation.
+    pub fn is_one_sided(&self) -> bool {
+        !matches!(self, VerbKind::Send)
+    }
+
+    /// Whether this verb is an RDMA atomic.
+    pub fn is_atomic(&self) -> bool {
+        matches!(self, VerbKind::CompareSwap { .. } | VerbKind::FetchAdd { .. })
+    }
+}
+
+/// A work request as posted to a send queue.
+#[derive(Clone, Debug)]
+pub struct WorkRequest {
+    /// Caller-chosen id, echoed in the CQE.
+    pub wr_id: WrId,
+    /// Operation.
+    pub kind: VerbKind,
+    /// Local scatter/gather list (source for Write/Send, destination for
+    /// Read, result buffer for atomics).
+    pub sgl: Vec<Sge>,
+    /// Remote target: region and offset (ignored for Send).
+    pub remote: Option<(RKey, u64)>,
+    /// Whether a CQE should be generated (selective signaling).
+    pub signaled: bool,
+}
+
+impl WorkRequest {
+    /// Total payload bytes across the SGL.
+    pub fn payload_bytes(&self) -> u64 {
+        match &self.kind {
+            // Atomics always move exactly 8 bytes.
+            VerbKind::CompareSwap { .. } | VerbKind::FetchAdd { .. } => 8,
+            _ => self.sgl.iter().map(|s| s.len).sum(),
+        }
+    }
+
+    /// Shorthand for a single-SGE signaled write.
+    pub fn write(wr_id: u64, local: Sge, rkey: RKey, remote_offset: u64) -> Self {
+        WorkRequest {
+            wr_id: WrId(wr_id),
+            kind: VerbKind::Write,
+            sgl: vec![local],
+            remote: Some((rkey, remote_offset)),
+            signaled: true,
+        }
+    }
+
+    /// Shorthand for a single-SGE signaled read.
+    pub fn read(wr_id: u64, local: Sge, rkey: RKey, remote_offset: u64) -> Self {
+        WorkRequest {
+            wr_id: WrId(wr_id),
+            kind: VerbKind::Read,
+            sgl: vec![local],
+            remote: Some((rkey, remote_offset)),
+            signaled: true,
+        }
+    }
+}
+
+/// Completion status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CqeStatus {
+    /// Operation completed.
+    Success,
+    /// Remote access fault (bad rkey / out of bounds).
+    RemoteAccessError,
+    /// Local SGL fault.
+    LocalProtectionError,
+}
+
+/// A completion queue entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// Echo of the work request id.
+    pub wr_id: WrId,
+    /// Completion status.
+    pub status: CqeStatus,
+    /// Virtual time at which the CQE became visible to the poller.
+    pub at: SimTime,
+    /// For atomics: the value the remote location held *before* the
+    /// operation (RDMA atomics always return the original value).
+    pub old_value: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_bytes_sums_sgl() {
+        let wr = WorkRequest {
+            wr_id: WrId(1),
+            kind: VerbKind::Write,
+            sgl: vec![Sge::new(MrId(0), 0, 32), Sge::new(MrId(0), 100, 32)],
+            remote: Some((RKey(9), 0)),
+            signaled: true,
+        };
+        assert_eq!(wr.payload_bytes(), 64);
+    }
+
+    #[test]
+    fn atomics_are_8_bytes_regardless_of_sgl() {
+        let wr = WorkRequest {
+            wr_id: WrId(1),
+            kind: VerbKind::FetchAdd { delta: 1 },
+            sgl: vec![Sge::new(MrId(0), 0, 8)],
+            remote: Some((RKey(9), 0)),
+            signaled: true,
+        };
+        assert_eq!(wr.payload_bytes(), 8);
+        assert!(wr.kind.is_atomic());
+        assert!(wr.kind.is_one_sided());
+    }
+
+    #[test]
+    fn send_is_two_sided() {
+        assert!(!VerbKind::Send.is_one_sided());
+        assert!(!VerbKind::Send.is_atomic());
+        assert!(VerbKind::Write.is_one_sided());
+    }
+
+    #[test]
+    fn shorthand_constructors() {
+        let w = WorkRequest::write(7, Sge::new(MrId(1), 0, 64), RKey(3), 128);
+        assert_eq!(w.wr_id, WrId(7));
+        assert_eq!(w.kind, VerbKind::Write);
+        assert_eq!(w.remote, Some((RKey(3), 128)));
+        let r = WorkRequest::read(8, Sge::new(MrId(1), 0, 64), RKey(3), 0);
+        assert_eq!(r.kind, VerbKind::Read);
+    }
+}

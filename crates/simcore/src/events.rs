@@ -1,0 +1,138 @@
+//! A deterministic time-ordered event queue.
+//!
+//! Ties in timestamp are broken by insertion order (a monotonically
+//! increasing sequence number), so two simulations that enqueue the same
+//! events in the same order always dequeue them in the same order — a
+//! prerequisite for reproducible runs.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq, Eq)]
+struct Entry<T> {
+    at: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+// Ordering is by (time, seq) only; payloads never participate.
+impl<T: Eq> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<T: Eq> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap of future events keyed by `(SimTime, insertion sequence)`.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<Keyed<T>>>>,
+    seq: u64,
+}
+
+/// Wrapper that exempts the payload from `Eq`/`Ord` requirements.
+struct Keyed<T>(T);
+
+impl<T> PartialEq for Keyed<T> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<T> Eq for Keyed<T> {}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedule `payload` to fire at `at`.
+    pub fn push(&mut self, at: SimTime, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, payload: Keyed(payload) }));
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.payload.0))
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(30), "c");
+        q.push(SimTime::from_ns(10), "a");
+        q.push(SimTime::from_ns(20), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_ns(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_ns(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_ns(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_ns(7), ());
+        q.push(SimTime::from_ns(3), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(3)));
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(10), 1u32);
+        q.push(SimTime::from_ns(5), 0);
+        assert_eq!(q.pop().unwrap().1, 0);
+        q.push(SimTime::from_ns(7), 2);
+        // 7ns event now precedes the 10ns one even though pushed later.
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+    }
+}

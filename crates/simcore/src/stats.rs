@@ -1,0 +1,222 @@
+//! Measurement utilities: latency summaries and throughput meters.
+
+use crate::time::{mops, SimTime};
+
+/// Order statistics and moments over a set of latency samples.
+#[derive(Clone, Debug)]
+pub struct Summary {
+    sorted: Vec<SimTime>,
+    sum_ps: u128,
+}
+
+impl Summary {
+    /// Build a summary from raw samples. Panics on an empty sample set —
+    /// an experiment that produced no samples is a harness bug.
+    pub fn from_samples(mut samples: Vec<SimTime>) -> Self {
+        assert!(!samples.is_empty(), "Summary needs at least one sample");
+        samples.sort_unstable();
+        let sum_ps = samples.iter().map(|t| t.as_ps() as u128).sum();
+        Summary { sorted: samples, sum_ps }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> SimTime {
+        SimTime::from_ps((self.sum_ps / self.sorted.len() as u128) as u64)
+    }
+
+    /// The `q`-quantile (0.0 ≤ q ≤ 1.0) by the nearest-rank method.
+    pub fn quantile(&self, q: f64) -> SimTime {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> SimTime {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile latency.
+    pub fn p99(&self) -> SimTime {
+        self.quantile(0.99)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> SimTime {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> SimTime {
+        *self.sorted.last().expect("non-empty")
+    }
+}
+
+/// Counts operation completions inside a measurement window and converts
+/// them to MOPS. The warmup prefix is excluded so cold caches and empty
+/// pipelines don't drag the steady-state figure down.
+#[derive(Clone, Debug)]
+pub struct Meter {
+    warmup_until: SimTime,
+    ops: u64,
+    first: Option<SimTime>,
+    last: SimTime,
+}
+
+impl Meter {
+    /// A meter that ignores completions before `warmup_until`.
+    pub fn new(warmup_until: SimTime) -> Self {
+        Meter { warmup_until, ops: 0, first: None, last: SimTime::ZERO }
+    }
+
+    /// Record one operation completing at `at`.
+    pub fn record(&mut self, at: SimTime) {
+        if at < self.warmup_until {
+            return;
+        }
+        if self.first.is_none() {
+            self.first = Some(at);
+        }
+        self.ops += 1;
+        self.last = self.last.max(at);
+    }
+
+    /// Record `n` operations completing at `at` (batch completion).
+    pub fn record_n(&mut self, at: SimTime, n: u64) {
+        if at < self.warmup_until {
+            return;
+        }
+        if self.first.is_none() {
+            self.first = Some(at);
+        }
+        self.ops += n;
+        self.last = self.last.max(at);
+    }
+
+    /// Operations recorded inside the window.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Steady-state throughput in MOPS over the observed span.
+    pub fn mops(&self) -> f64 {
+        match self.first {
+            Some(first) if self.last > first => mops(self.ops, self.last - first),
+            _ => 0.0,
+        }
+    }
+
+    /// Span between the first and last recorded completion.
+    pub fn span(&self) -> SimTime {
+        match self.first {
+            Some(first) => self.last.saturating_sub(first),
+            None => SimTime::ZERO,
+        }
+    }
+}
+
+/// One (x, y) series destined for a figure, with a label — mirrors one
+/// plotted line in the paper.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Legend label, e.g. `"write-seq-seq"`.
+    pub label: String,
+    /// Data points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// An empty series with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The y value at a given x, if the series contains it exactly.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|(px, _)| *px == x).map(|(_, y)| *y)
+    }
+
+    /// Maximum y value (NaN-free by construction).
+    pub fn y_max(&self) -> f64 {
+        self.points.iter().map(|&(_, y)| y).fold(f64::MIN, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_order_statistics() {
+        let samples: Vec<SimTime> = (1..=100).map(SimTime::from_ns).collect();
+        let s = Summary::from_samples(samples);
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.min(), SimTime::from_ns(1));
+        assert_eq!(s.max(), SimTime::from_ns(100));
+        assert_eq!(s.p50(), SimTime::from_ns(50));
+        assert_eq!(s.p99(), SimTime::from_ns(99));
+        assert_eq!(s.mean(), SimTime::from_ps(50_500));
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::from_samples(vec![SimTime::from_us(2)]);
+        assert_eq!(s.mean(), SimTime::from_us(2));
+        assert_eq!(s.p50(), SimTime::from_us(2));
+        assert_eq!(s.quantile(0.0), SimTime::from_us(2));
+        assert_eq!(s.quantile(1.0), SimTime::from_us(2));
+    }
+
+    #[test]
+    fn meter_excludes_warmup_and_computes_mops() {
+        let mut m = Meter::new(SimTime::from_us(10));
+        // 5 warmup completions are ignored.
+        for i in 0..5 {
+            m.record(SimTime::from_us(i));
+        }
+        // 1000 completions spaced 1us apart starting at 10us.
+        for i in 0..1000 {
+            m.record(SimTime::from_us(10 + i));
+        }
+        assert_eq!(m.ops(), 1000);
+        // 1000 ops over 999us ≈ 1.001 MOPS.
+        assert!((m.mops() - 1000.0 / 999.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meter_batch_records() {
+        let mut m = Meter::new(SimTime::ZERO);
+        m.record_n(SimTime::from_us(1), 16);
+        m.record_n(SimTime::from_us(2), 16);
+        assert_eq!(m.ops(), 32);
+        assert!((m.mops() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meter_empty_is_zero() {
+        let m = Meter::new(SimTime::ZERO);
+        assert_eq!(m.mops(), 0.0);
+        assert_eq!(m.span(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn series_accessors() {
+        let mut s = Series::new("write-seq-seq");
+        s.push(1.0, 4.7);
+        s.push(2.0, 4.5);
+        assert_eq!(s.y_at(2.0), Some(4.5));
+        assert_eq!(s.y_at(3.0), None);
+        assert_eq!(s.y_max(), 4.7);
+    }
+}

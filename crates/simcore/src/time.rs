@@ -1,0 +1,299 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! All simulated time is kept in **integer picoseconds**. Integer time makes
+//! every run bit-for-bit deterministic across platforms and lets cost-model
+//! constants be written exactly (e.g. a 40 Gbps link is exactly 200 ps/byte).
+//! Picosecond resolution leaves plenty of headroom: `u64` picoseconds can
+//! represent ~213 days of virtual time, while a long simulation here covers
+//! a few virtual seconds.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) virtual time, in picoseconds.
+///
+/// `SimTime` is used both as an instant and as a duration; the arithmetic
+/// provided is the subset that is meaningful for either reading.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero — the start of every simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The farthest representable instant; used as an "infinite" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000_000)
+    }
+
+    /// Construct from (possibly fractional) nanoseconds, rounding to the
+    /// nearest picosecond. Intended for calibration constants, not hot paths.
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Self {
+        debug_assert!(ns >= 0.0, "negative duration");
+        SimTime((ns * 1_000.0).round() as u64)
+    }
+
+    /// Raw picoseconds.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Value in nanoseconds (fractional).
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Value in microseconds (fractional).
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Value in seconds (fractional).
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating subtraction; useful for "time remaining" computations.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, rhs: SimTime) -> SimTime {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Scale a duration by a rational factor, rounding to nearest.
+    /// Used by cost models that derate a base cost (e.g. `×3/2`).
+    #[inline]
+    pub fn scale(self, num: u64, den: u64) -> SimTime {
+        debug_assert!(den != 0);
+        SimTime((self.0 as u128 * num as u128 / den as u128) as u64)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Render with an auto-selected unit, e.g. `1.16us`, `92ns`, `200ps`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps >= 1_000_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs())
+        } else if ps >= 1_000_000_000 {
+            write!(f, "{:.3}ms", ps as f64 / 1e9)
+        } else if ps >= 1_000_000 {
+            write!(f, "{:.3}us", self.as_us())
+        } else if ps >= 1_000 {
+            write!(f, "{:.3}ns", self.as_ns())
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+/// Convert an operation rate in MOPS (million operations per second) into
+/// the per-operation service time.
+#[inline]
+pub fn service_time_for_mops(mops: f64) -> SimTime {
+    debug_assert!(mops > 0.0);
+    SimTime::from_ns_f64(1_000.0 / mops)
+}
+
+/// Convert a count of events observed over a span into MOPS.
+#[inline]
+pub fn mops(ops: u64, span: SimTime) -> f64 {
+    if span == SimTime::ZERO {
+        return 0.0;
+    }
+    ops as f64 / span.as_us()
+}
+
+/// Picoseconds-per-byte for a link of the given bandwidth in Gbit/s.
+/// A 40 Gbps InfiniBand link is exactly 200 ps/byte.
+#[inline]
+pub const fn ps_per_byte_gbps(gbps: u64) -> u64 {
+    // 1 byte = 8 bits; time per byte = 8 / (gbps * 1e9) seconds
+    //        = 8000 / gbps picoseconds.
+    8_000 / gbps
+}
+
+/// Picoseconds-per-byte for a memory-style bandwidth in GB/s.
+#[inline]
+pub fn ps_per_byte_gbs(gbs: f64) -> u64 {
+    debug_assert!(gbs > 0.0);
+    (1_000.0 / gbs).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_round_trip() {
+        assert_eq!(SimTime::from_ns(1).as_ps(), 1_000);
+        assert_eq!(SimTime::from_us(1).as_ps(), 1_000_000);
+        assert_eq!(SimTime::from_ms(2).as_ps(), 2_000_000_000);
+        assert_eq!(SimTime::from_ns_f64(1.16).as_ps(), 1_160);
+        assert!((SimTime::from_us(3).as_us() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ns(10);
+        let b = SimTime::from_ns(4);
+        assert_eq!((a + b).as_ps(), 14_000);
+        assert_eq!((a - b).as_ps(), 6_000);
+        assert_eq!((a * 3).as_ps(), 30_000);
+        assert_eq!((a / 2).as_ps(), 5_000);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn scale_rounds_down_like_integer_division() {
+        let t = SimTime::from_ps(10);
+        assert_eq!(t.scale(3, 2).as_ps(), 15);
+        assert_eq!(t.scale(1, 3).as_ps(), 3);
+    }
+
+    #[test]
+    fn link_constants() {
+        // 40 Gbps => 200 ps/byte => a 4 KiB payload serializes in 819.2 ns.
+        assert_eq!(ps_per_byte_gbps(40), 200);
+        assert_eq!(ps_per_byte_gbps(100), 80);
+        // 5 GB/s memory stream => 200 ps/byte as well.
+        assert_eq!(ps_per_byte_gbs(5.0), 200);
+    }
+
+    #[test]
+    fn mops_conversions() {
+        // 4.7 MOPS => ~212.77 ns per op.
+        let t = service_time_for_mops(4.7);
+        assert!((t.as_ns() - 212.766).abs() < 0.01);
+        // And back: 47 ops in 10 us is 4.7 MOPS.
+        assert!((mops(47, SimTime::from_us(10)) - 4.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_picks_sane_units() {
+        assert_eq!(format!("{}", SimTime::from_ps(12)), "12ps");
+        assert_eq!(format!("{}", SimTime::from_ns(92)), "92.000ns");
+        assert_eq!(format!("{}", SimTime::from_ns_f64(1160.0)), "1.160us");
+    }
+
+    #[test]
+    fn sum_and_ordering() {
+        let total: SimTime = [SimTime::from_ns(1), SimTime::from_ns(2)].into_iter().sum();
+        assert_eq!(total, SimTime::from_ns(3));
+        assert!(SimTime::ZERO < SimTime::MAX);
+    }
+}

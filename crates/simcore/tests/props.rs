@@ -1,0 +1,137 @@
+//! Property tests for the engine primitives.
+
+use proptest::prelude::*;
+use simcore::{mops, ps_per_byte_gbps, BandwidthLink, EventQueue, KServer, SimRng, SimTime, Summary};
+
+proptest! {
+    /// Time arithmetic: addition is commutative/associative, scale by 1
+    /// is identity, and saturating_sub never underflows.
+    #[test]
+    fn time_arithmetic(a in 0u64..1 << 40, b in 0u64..1 << 40, c in 0u64..1 << 40) {
+        let (ta, tb, tc) = (SimTime::from_ps(a), SimTime::from_ps(b), SimTime::from_ps(c));
+        prop_assert_eq!(ta + tb, tb + ta);
+        prop_assert_eq!((ta + tb) + tc, ta + (tb + tc));
+        prop_assert_eq!(ta.scale(1, 1), ta);
+        prop_assert_eq!(tb.saturating_sub(ta) , SimTime::from_ps(b.saturating_sub(a)));
+        prop_assert_eq!(ta.max(tb).as_ps(), a.max(b));
+        prop_assert_eq!(ta.min(tb).as_ps(), a.min(b));
+    }
+
+    /// Unit conversions round-trip within a picosecond.
+    #[test]
+    fn time_conversions(ns in 0u64..1 << 30) {
+        let t = SimTime::from_ns(ns);
+        prop_assert!((t.as_ns() - ns as f64).abs() < 1e-6);
+        prop_assert_eq!(SimTime::from_ns_f64(t.as_ns()), t);
+    }
+
+    /// mops() and rate helpers are mutually consistent.
+    #[test]
+    fn rate_helpers(ops in 1u64..1_000_000, span_ns in 1u64..1 << 30) {
+        let span = SimTime::from_ns(span_ns);
+        let m = mops(ops, span);
+        prop_assert!(m > 0.0);
+        // ops/span in Mops = ops / span_us.
+        prop_assert!((m - ops as f64 / (span_ns as f64 / 1000.0)).abs() < 1e-6 * m.max(1.0));
+    }
+
+    /// Link constants: higher gbps, fewer ps per byte; always divides 8000.
+    #[test]
+    fn link_constants(gbps in 1u64..400) {
+        let p = ps_per_byte_gbps(gbps);
+        prop_assert_eq!(p, 8_000 / gbps);
+    }
+
+    /// The event queue is a stable priority queue: output is sorted by
+    /// time, and equal-time events keep insertion order.
+    #[test]
+    fn event_queue_is_stable(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_ns(t), i);
+        }
+        let mut out = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            out.push((t, i));
+        }
+        prop_assert_eq!(out.len(), times.len());
+        for w in out.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "stability violated");
+            }
+        }
+    }
+
+    /// A KServer conserves work: total busy time equals the sum of
+    /// service times, regardless of arrival pattern.
+    #[test]
+    fn kserver_conserves_work(reqs in proptest::collection::vec((0u64..100_000, 1u64..2_000), 1..100), k in 1usize..5) {
+        let mut s = KServer::new(k);
+        let mut expect = 0u64;
+        for &(ready, svc) in &reqs {
+            s.acquire(SimTime::from_ps(ready), SimTime::from_ps(svc));
+            expect += svc;
+        }
+        prop_assert_eq!(s.busy().as_ps(), expect);
+    }
+
+    /// A saturated single-unit server finishes exactly sum(service) after
+    /// the first start.
+    #[test]
+    fn kserver_saturated_makespan(svcs in proptest::collection::vec(1u64..1_000, 1..100)) {
+        let mut s = KServer::new(1);
+        let mut last = SimTime::ZERO;
+        for &svc in &svcs {
+            let (_, end) = s.acquire(SimTime::ZERO, SimTime::from_ps(svc));
+            last = last.max(end);
+        }
+        prop_assert_eq!(last.as_ps(), svcs.iter().sum::<u64>());
+    }
+
+    /// Bandwidth links serialize bytes exactly.
+    #[test]
+    fn link_serializes_exactly(sizes in proptest::collection::vec(1u64..10_000, 1..60)) {
+        let mut l = BandwidthLink::new(200, SimTime::from_ns(100));
+        let mut last = SimTime::ZERO;
+        for &b in &sizes {
+            let (_, arr) = l.transfer(SimTime::ZERO, b);
+            last = last.max(arr);
+        }
+        let total: u64 = sizes.iter().sum();
+        prop_assert_eq!(last.as_ps(), total * 200 + 100_000);
+    }
+
+    /// Summary quantiles are order statistics: min ≤ p50 ≤ p99 ≤ max and
+    /// all are sample members.
+    #[test]
+    fn summary_quantiles(mut xs in proptest::collection::vec(0u64..1 << 30, 1..200)) {
+        let samples: Vec<SimTime> = xs.iter().map(|&x| SimTime::from_ps(x)).collect();
+        let s = Summary::from_samples(samples.clone());
+        xs.sort_unstable();
+        prop_assert_eq!(s.min().as_ps(), xs[0]);
+        prop_assert_eq!(s.max().as_ps(), *xs.last().unwrap());
+        prop_assert!(s.min() <= s.p50() && s.p50() <= s.p99() && s.p99() <= s.max());
+        prop_assert!(samples.contains(&s.p50()));
+    }
+
+    /// gen_range is unbiased enough that every residue class of a small
+    /// modulus is hit, and always in bounds.
+    #[test]
+    fn rng_range_bounds(seed in any::<u64>(), bound in 1u64..1 << 50) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.gen_range(bound) < bound);
+        }
+    }
+
+    /// Split streams never collide even for adjacent ids.
+    #[test]
+    fn rng_split_streams_differ(seed in any::<u64>(), id in 0u64..1 << 40) {
+        let root = SimRng::new(seed);
+        let mut a = root.split(id);
+        let mut b = root.split(id + 1);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        prop_assert!(same < 2);
+    }
+}

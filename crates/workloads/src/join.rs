@@ -1,0 +1,102 @@
+//! Relation generators for the distributed join (§IV-D).
+//!
+//! The paper joins a fixed-size inner and outer relation of 16 M tuples
+//! each (scaled to 2^24–2^26 in Fig 17). Tuples are `(key, payload)`
+//! pairs; the inner relation holds distinct keys, the outer relation
+//! references inner keys so every outer tuple finds exactly one match —
+//! making the join result size equal to the outer cardinality, which is
+//! easy to verify.
+
+use simcore::SimRng;
+
+/// One relation tuple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tuple {
+    /// Join key.
+    pub key: u64,
+    /// Payload carried along (checksummable).
+    pub payload: u64,
+}
+
+impl Tuple {
+    /// Serialized size in bytes (two u64s).
+    pub const BYTES: u64 = 16;
+}
+
+/// An inner/outer relation pair.
+#[derive(Clone, Debug)]
+pub struct RelationPair {
+    /// Build side: distinct keys.
+    pub inner: Vec<Tuple>,
+    /// Probe side: every key appears in `inner`.
+    pub outer: Vec<Tuple>,
+}
+
+/// Generate a relation pair of `n` tuples each.
+pub fn generate(n: u64, rng: &mut SimRng) -> RelationPair {
+    let mut inner: Vec<Tuple> = (0..n)
+        .map(|i| Tuple { key: i, payload: i.wrapping_mul(0x9E37_79B9) })
+        .collect();
+    rng.shuffle(&mut inner);
+    let outer: Vec<Tuple> = (0..n)
+        .map(|_| {
+            let key = rng.gen_range(n);
+            Tuple { key, payload: key.wrapping_add(7) }
+        })
+        .collect();
+    RelationPair { inner, outer }
+}
+
+/// The number of result rows a correct join of this pair must produce
+/// (each outer tuple matches exactly one inner tuple).
+pub fn expected_matches(pair: &RelationPair) -> u64 {
+    pair.outer.len() as u64
+}
+
+/// Hash-partition a relation across `parts` executors (the partition
+/// phase's shuffle rule).
+pub fn partition_of(key: u64, parts: usize) -> usize {
+    (crate::zipf::fnv64(key) % parts as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inner_keys_are_distinct_and_complete() {
+        let mut rng = SimRng::new(1);
+        let pair = generate(1000, &mut rng);
+        let mut keys: Vec<u64> = pair.inner.iter().map(|t| t.key).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn outer_keys_always_match_inner() {
+        let mut rng = SimRng::new(2);
+        let pair = generate(500, &mut rng);
+        assert!(pair.outer.iter().all(|t| t.key < 500));
+        assert_eq!(expected_matches(&pair), 500);
+    }
+
+    #[test]
+    fn partitioning_is_total_and_balanced() {
+        let parts = 8;
+        let mut counts = vec![0u64; parts];
+        for key in 0..100_000u64 {
+            counts[partition_of(key, parts)] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.1, "imbalance {}", max / min);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(100, &mut SimRng::new(3));
+        let b = generate(100, &mut SimRng::new(3));
+        assert_eq!(a.inner, b.inner);
+        assert_eq!(a.outer, b.outer);
+    }
+}

@@ -1,0 +1,23 @@
+//! # workloads — deterministic workload generators
+//!
+//! The synthetic inputs the paper's evaluation uses: Zipf-0.99 skewed
+//! key-value streams (disaggregated hashtable), uniform shuffle entry
+//! streams, join relation pairs with verifiable match counts, and
+//! checksummed transaction-log records. All generators are driven by the
+//! splittable [`simcore::SimRng`], so every experiment is reproducible
+//! from a single run seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod join;
+pub mod kv;
+pub mod log;
+pub mod shuffle;
+pub mod zipf;
+
+pub use join::{expected_matches, generate as generate_relations, partition_of, RelationPair, Tuple};
+pub use kv::{value_for, KvOp, KvSpec, KvStream};
+pub use log::{crc32, scan as scan_log, Record, HEADER_BYTES};
+pub use shuffle::{Entry, EntryStream};
+pub use zipf::{fnv64, Zipf};

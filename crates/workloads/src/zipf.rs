@@ -1,0 +1,173 @@
+//! Zipfian key distribution (YCSB-style).
+//!
+//! The paper's hashtable evaluation uses "skewed workloads generated
+//! according to Zipf distribution with parameter 0.99" (§IV-B), citing the
+//! YCSB benchmark [10]. This is the standard Gray et al. rejection-free
+//! generator with precomputed zeta values, plus the YCSB *scrambled*
+//! variant that spreads hot ranks across the key space.
+
+use simcore::SimRng;
+
+/// Zipfian generator over ranks `0..n` with skew `theta`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipf {
+    /// Build a generator for `n ≥ 1` items with skew `theta ∈ (0, 1)`.
+    /// The paper uses `theta = 0.99`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n >= 1, "need at least one item");
+        assert!((0.0..1.0).contains(&theta), "theta must be in (0,1)");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf { n, theta, alpha, zetan, eta, zeta2 }
+    }
+
+    /// The paper's configuration: skew 0.99.
+    pub fn paper(n: u64) -> Self {
+        Zipf::new(n, 0.99)
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw a rank in `0..n`; rank 0 is the hottest.
+    pub fn rank(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.gen_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let spread = (self.eta * u - self.eta + 1.0).powf(self.alpha);
+        ((self.n as f64) * spread) as u64 % self.n
+    }
+
+    /// Draw a *scrambled* key in `0..n` (YCSB `ScrambledZipfian`): the
+    /// popularity ranking holds, but hot keys are spread over the space
+    /// instead of clustering at 0.
+    pub fn scrambled_key(&self, rng: &mut SimRng) -> u64 {
+        fnv64(self.rank(rng)) % self.n
+    }
+
+    /// Probability mass of the hottest `k` ranks (analytic).
+    pub fn head_mass(&self, k: u64) -> f64 {
+        zeta(k.min(self.n), self.theta) / self.zetan
+    }
+
+    /// Unused-but-kept diagnostic: zeta(2).
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Exact summation is O(n); fine for n into the tens of millions at
+    // construction time, and we cache the result.
+    let mut sum = 0.0;
+    for i in 1..=n {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    sum
+}
+
+/// FNV-1a 64-bit hash of a u64, used for key scrambling and shuffle
+/// destination hashing.
+pub fn fnv64(x: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for byte in x.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_in_range() {
+        let z = Zipf::paper(1000);
+        let mut rng = SimRng::new(7);
+        for _ in 0..10_000 {
+            assert!(z.rank(&mut rng) < 1000);
+            assert!(z.scrambled_key(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn distribution_is_skewed_toward_rank_zero() {
+        let z = Zipf::paper(10_000);
+        let mut rng = SimRng::new(8);
+        let mut hits0 = 0u64;
+        let draws = 100_000;
+        for _ in 0..draws {
+            if z.rank(&mut rng) == 0 {
+                hits0 += 1;
+            }
+        }
+        let p0 = hits0 as f64 / draws as f64;
+        // Analytic head mass of rank 0 at theta=0.99, n=10000 is ~9.5 %.
+        let expected = z.head_mass(1);
+        assert!((p0 - expected).abs() < 0.02, "p0 {p0} expected {expected}");
+        assert!(p0 > 0.05);
+    }
+
+    #[test]
+    fn head_mass_matches_paper_skew_intuition() {
+        // With theta=0.99 a tiny fraction of keys carries most accesses:
+        // the hottest 1/32 of 1M keys absorbs well over half the traffic.
+        let z = Zipf::paper(1 << 20);
+        let head = z.head_mass((1 << 20) / 32);
+        assert!(head > 0.55, "head mass {head}");
+        // And mass is monotone in k.
+        assert!(z.head_mass(100) < z.head_mass(1000));
+        assert!((z.head_mass(1 << 20) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scrambling_spreads_hot_keys() {
+        let z = Zipf::paper(1 << 16);
+        let mut rng = SimRng::new(9);
+        // The hottest scrambled key should NOT be key 0.
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(z.scrambled_key(&mut rng)).or_insert(0u64) += 1;
+        }
+        let (hottest, _) = counts.iter().max_by_key(|(_, &c)| c).unwrap();
+        assert_ne!(*hottest, 0, "scrambled hot key must move away from 0");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let z = Zipf::paper(1000);
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(z.rank(&mut a), z.rank(&mut b));
+        }
+    }
+
+    #[test]
+    fn degenerate_single_item() {
+        let z = Zipf::new(1, 0.5);
+        let mut rng = SimRng::new(1);
+        for _ in 0..10 {
+            assert_eq!(z.rank(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the workload generators.
+
+use proptest::prelude::*;
+use simcore::SimRng;
+use workloads::{
+    expected_matches, generate_relations, partition_of, scan_log, value_for, KvOp, KvSpec,
+    KvStream, Record, Zipf,
+};
+
+proptest! {
+    /// Inner relations are exact permutations; outer keys always match.
+    #[test]
+    fn relations_are_well_formed(n in 2u64..2000, seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        let pair = generate_relations(n, &mut rng);
+        let mut keys: Vec<u64> = pair.inner.iter().map(|t| t.key).collect();
+        keys.sort_unstable();
+        prop_assert!(keys.iter().enumerate().all(|(i, &k)| k == i as u64));
+        prop_assert!(pair.outer.iter().all(|t| t.key < n));
+        prop_assert_eq!(expected_matches(&pair), n);
+    }
+
+    /// Hash partitioning is deterministic, total, and (for enough keys)
+    /// never leaves a partition empty.
+    #[test]
+    fn partitioning_properties(parts in 1usize..32) {
+        let mut seen = vec![false; parts];
+        for key in 0..(parts as u64 * 64) {
+            let p = partition_of(key, parts);
+            prop_assert!(p < parts);
+            prop_assert_eq!(p, partition_of(key, parts));
+            seen[p] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// KV values are pure functions of (key, len).
+    #[test]
+    fn values_are_pure(key in any::<u64>(), len in 0usize..256) {
+        let v = value_for(key, len);
+        prop_assert_eq!(v.len(), len);
+        prop_assert_eq!(value_for(key, len), v);
+    }
+
+    /// Mixed workloads only emit the two op kinds with keys in range.
+    #[test]
+    fn kv_stream_ops_in_range(seed in any::<u64>(), frac in 0.0f64..=1.0) {
+        let spec = KvSpec { keys: 500, write_fraction: frac, ..Default::default() };
+        let mut s = KvStream::new(spec, SimRng::new(seed));
+        for _ in 0..200 {
+            match s.next_op() {
+                KvOp::Insert { key, value } => {
+                    prop_assert!(key < 500);
+                    prop_assert_eq!(value, value_for(key, 64));
+                }
+                KvOp::Get { key } => prop_assert!(key < 500),
+            }
+        }
+    }
+
+    /// Zipf head mass is monotone in k and in skew.
+    #[test]
+    fn zipf_head_mass_monotone(n in 16u64..100_000, k1 in 1u64..1000, k2 in 1u64..1000) {
+        let z = Zipf::paper(n);
+        let (lo, hi) = (k1.min(k2), k1.max(k2));
+        prop_assert!(z.head_mass(lo) <= z.head_mass(hi) + 1e-12);
+        prop_assert!(z.head_mass(n) > 0.999_999);
+        // More skew concentrates more mass in the same head.
+        let z_flat = Zipf::new(n, 0.5);
+        prop_assert!(z.head_mass(lo.min(n)) + 1e-12 >= z_flat.head_mass(lo.min(n)));
+    }
+
+    /// Any byte soup either fails to decode or decodes into a record that
+    /// re-encodes to a prefix-equal image (no decode-encode divergence).
+    #[test]
+    fn record_decode_is_safe(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        if let Some((rec, used)) = Record::decode(&bytes) {
+            let re = rec.encode();
+            prop_assert_eq!(re.len(), used);
+            prop_assert_eq!(&re[..], &bytes[..used]);
+        }
+    }
+
+    /// A scan of concatenated valid records followed by garbage returns at
+    /// least the valid prefix and never panics.
+    #[test]
+    fn scan_is_prefix_safe(n in 1usize..10, garbage in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut log = Vec::new();
+        for seq in 0..n {
+            log.extend_from_slice(&Record::synthetic(9, seq as u32, 24).encode());
+        }
+        let valid_len = log.len();
+        log.extend_from_slice(&garbage);
+        let recs = scan_log(&log);
+        prop_assert!(recs.len() >= n, "lost valid records");
+        // The first n are exactly what we wrote.
+        for (seq, r) in recs.iter().take(n).enumerate() {
+            prop_assert_eq!(r, &Record::synthetic(9, seq as u32, 24));
+        }
+        let _ = valid_len;
+    }
+}

@@ -1,0 +1,10 @@
+# gnuplot script for ablate-inline — Ablation: WQE inlining threshold for 32 B writes (x: inline_max)
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'ablate-inline.svg'
+set datafile missing '-'
+set title "Ablation: WQE inlining threshold for 32 B writes (x: inline_max)" noenhanced
+set xlabel "inline_max(B)" noenhanced
+set ylabel "see series" noenhanced
+set key outside right noenhanced
+set grid
+plot 'ablate-inline.dat' using 1:2 title "small-write latency (us)" with linespoints, 'ablate-inline.dat' using 1:3 title "small-write throughput (MOPS)" with linespoints

@@ -1,0 +1,10 @@
+# gnuplot script for ablate-mtt — Ablation: random 32 B write throughput vs region size (x: 1M,4M,16M,64M,256M,1G) for three MTT cache capacities
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'ablate-mtt.svg'
+set datafile missing '-'
+set title "Ablation: random 32 B write throughput vs region size (x: 1M,4M,16M,64M,256M,1G) for three MTT cache capacities" noenhanced
+set xlabel "region-idx" noenhanced
+set ylabel "MOPS" noenhanced
+set key outside right noenhanced
+set grid
+plot 'ablate-mtt.dat' using 1:2 title "256 MTT entries (1 MB coverage)" with linespoints, 'ablate-mtt.dat' using 1:3 title "1024 MTT entries (4 MB coverage)" with linespoints, 'ablate-mtt.dat' using 1:4 title "4096 MTT entries (16 MB coverage)" with linespoints

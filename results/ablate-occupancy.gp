@@ -1,0 +1,10 @@
+# gnuplot script for ablate-occupancy — Ablation: MTT-miss pipeline occupancy (of the fixed 450 ns total penalty) vs random-write behaviour
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'ablate-occupancy.svg'
+set datafile missing '-'
+set title "Ablation: MTT-miss pipeline occupancy (of the fixed 450 ns total penalty) vs random-write behaviour" noenhanced
+set xlabel "occupancy(ns)" noenhanced
+set ylabel "see series" noenhanced
+set key outside right noenhanced
+set grid
+plot 'ablate-occupancy.dat' using 1:2 title "throughput (MOPS)" with linespoints, 'ablate-occupancy.dat' using 1:3 title "latency (us)" with linespoints

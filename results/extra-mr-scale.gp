@@ -1,0 +1,10 @@
+# gnuplot script for extra-mr-scale — §II-B2 extension: 32 B write throughput vs registered MR count (4 MB each)
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'extra-mr-scale.svg'
+set datafile missing '-'
+set title "§II-B2 extension: 32 B write throughput vs registered MR count (4 MB each)" noenhanced
+set xlabel "MRs" noenhanced
+set ylabel "MOPS" noenhanced
+set key outside right noenhanced
+set grid
+plot 'extra-mr-scale.dat' using 1:2 title "32B write throughput" with linespoints

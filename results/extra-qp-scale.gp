@@ -1,0 +1,10 @@
+# gnuplot script for extra-qp-scale — §II-B2 extension: server throughput vs client (QP) count
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'extra-qp-scale.svg'
+set datafile missing '-'
+set title "§II-B2 extension: server throughput vs client (QP) count" noenhanced
+set xlabel "clients" noenhanced
+set ylabel "MOPS" noenhanced
+set key outside right noenhanced
+set grid
+plot 'extra-qp-scale.dat' using 1:2 title "RC writes (one QP per client)" with linespoints, 'extra-qp-scale.dat' using 1:3 title "UD sends (one server QP)" with linespoints

@@ -1,0 +1,10 @@
+# gnuplot script for extra-recovery — Scenario III extension: log recovery replay vs original append (x: 3.5k,7k,14k,28k records)
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'extra-recovery.svg'
+set datafile missing '-'
+set title "Scenario III extension: log recovery replay vs original append (x: 3.5k,7k,14k,28k records)" noenhanced
+set xlabel "size-idx" noenhanced
+set ylabel "time(us)" noenhanced
+set key outside right noenhanced
+set grid
+plot 'extra-recovery.dat' using 1:2 title "recovery replay" with linespoints, 'extra-recovery.dat' using 1:3 title "original append (batch 1)" with linespoints

@@ -1,0 +1,10 @@
+# gnuplot script for extra-reg-cost — Related-work [17] extension: registration latency vs region size (x: 4K,64K,1M,16M,64M)
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'extra-reg-cost.svg'
+set datafile missing '-'
+set title "Related-work [17] extension: registration latency vs region size (x: 4K,64K,1M,16M,64M)" noenhanced
+set xlabel "size-idx" noenhanced
+set ylabel "latency(us)" noenhanced
+set key outside right noenhanced
+set grid
+plot 'extra-reg-cost.dat' using 1:2 title "registration latency" with linespoints

@@ -1,0 +1,10 @@
+# gnuplot script for extra-reg-path — Related-work [17] extension: pre-registered pool vs register-on-IO-path (x: 0 = pooled, 1 = on-path) for one 4 KB write
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'extra-reg-path.svg'
+set datafile missing '-'
+set title "Related-work [17] extension: pre-registered pool vs register-on-IO-path (x: 0 = pooled, 1 = on-path) for one 4 KB write" noenhanced
+set xlabel "mode" noenhanced
+set ylabel "latency(us)" noenhanced
+set key outside right noenhanced
+set grid
+plot 'extra-reg-path.dat' using 1:2 title "4 KB write latency" with linespoints

@@ -1,0 +1,10 @@
+# gnuplot script for extra-ycsb — Extension: hashtable throughput under YCSB A/B/C (x: 0=A, 1=B, 2=C)
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'extra-ycsb.svg'
+set datafile missing '-'
+set title "Extension: hashtable throughput under YCSB A/B/C (x: 0=A, 1=B, 2=C)" noenhanced
+set xlabel "mix-idx" noenhanced
+set ylabel "MOPS" noenhanced
+set key outside right noenhanced
+set grid
+plot 'extra-ycsb.dat' using 1:2 title "+Numa-OPT" with linespoints, 'extra-ycsb.dat' using 1:3 title "+Reorder-OPT (theta=16)" with linespoints

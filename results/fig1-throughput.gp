@@ -1,0 +1,11 @@
+# gnuplot script for fig1-throughput — Packet throttling: throughput vs payload
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'fig1-throughput.svg'
+set datafile missing '-'
+set title "Packet throttling: throughput vs payload" noenhanced
+set xlabel "size(B)" noenhanced
+set ylabel "MOPS" noenhanced
+set key outside right noenhanced
+set grid
+set logscale x 2
+plot 'fig1-throughput.dat' using 1:2 title "Write" with linespoints, 'fig1-throughput.dat' using 1:3 title "Read" with linespoints

@@ -1,0 +1,10 @@
+# gnuplot script for fig10a — Spinlock: local vs remote vs RPC (log-scale y in the paper)
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'fig10a.svg'
+set datafile missing '-'
+set title "Spinlock: local vs remote vs RPC (log-scale y in the paper)" noenhanced
+set xlabel "threads" noenhanced
+set ylabel "MOPS" noenhanced
+set key outside right noenhanced
+set grid
+plot 'fig10a.dat' using 1:2 title "Local" with linespoints, 'fig10a.dat' using 1:3 title "Local (backoff)" with linespoints, 'fig10a.dat' using 1:4 title "Remote" with linespoints, 'fig10a.dat' using 1:5 title "Remote (backoff)" with linespoints, 'fig10a.dat' using 1:6 title "RPC-based" with linespoints, 'fig10a.dat' using 1:7 title "RPC-based (UD)" with linespoints

@@ -1,0 +1,10 @@
+# gnuplot script for fig10b — Sequencer: local vs remote vs RPC
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'fig10b.svg'
+set datafile missing '-'
+set title "Sequencer: local vs remote vs RPC" noenhanced
+set xlabel "threads" noenhanced
+set ylabel "MOPS" noenhanced
+set key outside right noenhanced
+set grid
+plot 'fig10b.dat' using 1:2 title "Local Sequencer" with linespoints, 'fig10b.dat' using 1:3 title "Remote Sequencer" with linespoints, 'fig10b.dat' using 1:4 title "RPC Sequencer" with linespoints, 'fig10b.dat' using 1:5 title "RPC Sequencer (UD)" with linespoints

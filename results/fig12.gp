@@ -1,0 +1,10 @@
+# gnuplot script for fig12 — Disaggregated hashtable optimizations (Zipf 0.99, 100% writes, 64 B values)
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'fig12.svg'
+set datafile missing '-'
+set title "Disaggregated hashtable optimizations (Zipf 0.99, 100% writes, 64 B values)" noenhanced
+set xlabel "front-ends" noenhanced
+set ylabel "MOPS" noenhanced
+set key outside right noenhanced
+set grid
+plot 'fig12.dat' using 1:2 title "Basic HashTable" with linespoints, 'fig12.dat' using 1:3 title "+Numa-OPT" with linespoints, 'fig12.dat' using 1:4 title "+Reorder-OPT (theta=4)" with linespoints, 'fig12.dat' using 1:5 title "+Reorder-OPT (theta=16)" with linespoints

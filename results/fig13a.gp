@@ -1,0 +1,10 @@
+# gnuplot script for fig13a — Hashtable: throughput vs hot-key proportion (x: 1/4%,1/8%,1/16%,1/32%)
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'fig13a.svg'
+set datafile missing '-'
+set title "Hashtable: throughput vs hot-key proportion (x: 1/4%,1/8%,1/16%,1/32%)" noenhanced
+set xlabel "hot-idx" noenhanced
+set ylabel "MOPS" noenhanced
+set key outside right noenhanced
+set grid
+plot 'fig13a.dat' using 1:2 title "Consolidation-OPT" with linespoints

@@ -1,0 +1,10 @@
+# gnuplot script for fig13b — Hashtable: throughput vs consolidation batch size
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'fig13b.svg'
+set datafile missing '-'
+set title "Hashtable: throughput vs consolidation batch size" noenhanced
+set xlabel "batch" noenhanced
+set ylabel "MOPS" noenhanced
+set key outside right noenhanced
+set grid
+plot 'fig13b.dat' using 1:2 title "Consolidation-OPT" with linespoints

@@ -1,0 +1,10 @@
+# gnuplot script for fig15 — Distributed shuffle throughput
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'fig15.svg'
+set datafile missing '-'
+set title "Distributed shuffle throughput" noenhanced
+set xlabel "executors" noenhanced
+set ylabel "M entries/s" noenhanced
+set key outside right noenhanced
+set grid
+plot 'fig15.dat' using 1:2 title "Basic Shuffle" with linespoints, 'fig15.dat' using 1:3 title "+SGL(Batch=4)" with linespoints, 'fig15.dat' using 1:4 title "+SGL(Batch=16)" with linespoints, 'fig15.dat' using 1:5 title "+SP(Batch=4)" with linespoints, 'fig15.dat' using 1:6 title "+SP(Batch=16)" with linespoints

@@ -1,0 +1,10 @@
+# gnuplot script for fig16a — Join execution time vs batch size (1048576 tuples/relation)
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'fig16a.svg'
+set datafile missing '-'
+set title "Join execution time vs batch size (1048576 tuples/relation)" noenhanced
+set xlabel "batch" noenhanced
+set ylabel "time(s)" noenhanced
+set key outside right noenhanced
+set grid
+plot 'fig16a.dat' using 1:2 title "theta=4" with linespoints, 'fig16a.dat' using 1:3 title "theta=16" with linespoints, 'fig16a.dat' using 1:4 title "(NUMA Affinity) theta=4" with linespoints, 'fig16a.dat' using 1:5 title "(NUMA Affinity) theta=16" with linespoints

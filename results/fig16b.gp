@@ -1,0 +1,10 @@
+# gnuplot script for fig16b — Join scalability: 1/time vs executors
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'fig16b.svg'
+set datafile missing '-'
+set title "Join scalability: 1/time vs executors" noenhanced
+set xlabel "executors" noenhanced
+set ylabel "1/time (1/s)" noenhanced
+set key outside right noenhanced
+set grid
+plot 'fig16b.dat' using 1:2 title "ideal" with linespoints, 'fig16b.dat' using 1:3 title "w/o batch" with linespoints, 'fig16b.dat' using 1:4 title "lambda = 4" with linespoints, 'fig16b.dat' using 1:5 title "lambda = 16" with linespoints

@@ -1,0 +1,10 @@
+# gnuplot script for fig17 — Join performance breakdown across data scales (x: log2 tuples)
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'fig17.svg'
+set datafile missing '-'
+set title "Join performance breakdown across data scales (x: log2 tuples)" noenhanced
+set xlabel "log2(tuples)" noenhanced
+set ylabel "time(s)" noenhanced
+set key outside right noenhanced
+set grid
+plot 'fig17.dat' using 1:2 title "Single Machine" with linespoints, 'fig17.dat' using 1:3 title "theta=4, lambda=1 w/o NUMA" with linespoints, 'fig17.dat' using 1:4 title "theta=4, lambda=1" with linespoints, 'fig17.dat' using 1:5 title "theta=4, lambda=16" with linespoints, 'fig17.dat' using 1:6 title "theta=16, lambda=16" with linespoints

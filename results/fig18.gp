@@ -1,0 +1,11 @@
+# gnuplot script for fig18 — CPU cycles per shuffled entry, SP vs SGL (7 executors)
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'fig18.svg'
+set datafile missing '-'
+set title "CPU cycles per shuffled entry, SP vs SGL (7 executors)" noenhanced
+set xlabel "entry(B)" noenhanced
+set ylabel "cycles/entry" noenhanced
+set key outside right noenhanced
+set grid
+set logscale x 2
+plot 'fig18.dat' using 1:2 title "SP" with linespoints, 'fig18.dat' using 1:3 title "SGL" with linespoints

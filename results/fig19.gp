@@ -1,0 +1,10 @@
+# gnuplot script for fig19 — Distributed log throughput vs batch size (*: w/o NUMA awareness)
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'fig19.svg'
+set datafile missing '-'
+set title "Distributed log throughput vs batch size (*: w/o NUMA awareness)" noenhanced
+set xlabel "batch" noenhanced
+set ylabel "M records/s" noenhanced
+set key outside right noenhanced
+set grid
+plot 'fig19.dat' using 1:2 title "4 TX engines (*)" with linespoints, 'fig19.dat' using 1:3 title "7 TX engines (*)" with linespoints, 'fig19.dat' using 1:4 title "14 TX engines (*)" with linespoints, 'fig19.dat' using 1:5 title "4 TX engines" with linespoints, 'fig19.dat' using 1:6 title "7 TX engines" with linespoints, 'fig19.dat' using 1:7 title "14 TX engines" with linespoints

@@ -1,0 +1,11 @@
+# gnuplot script for fig3 — Batch strategies vs payload size (1:1 connection)
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'fig3.svg'
+set datafile missing '-'
+set title "Batch strategies vs payload size (1:1 connection)" noenhanced
+set xlabel "size(B)" noenhanced
+set ylabel "MOPS" noenhanced
+set key outside right noenhanced
+set grid
+set logscale x 2
+plot 'fig3.dat' using 1:2 title "SP-size-4" with linespoints, 'fig3.dat' using 1:3 title "Doorbell-size-4" with linespoints, 'fig3.dat' using 1:4 title "SGL-size-4" with linespoints, 'fig3.dat' using 1:5 title "Local-size-4" with linespoints, 'fig3.dat' using 1:6 title "SP-size-16" with linespoints, 'fig3.dat' using 1:7 title "Doorbell-size-16" with linespoints, 'fig3.dat' using 1:8 title "SGL-size-16" with linespoints

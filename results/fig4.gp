@@ -1,0 +1,10 @@
+# gnuplot script for fig4 — Batch strategies vs batch size (32 B payload)
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'fig4.svg'
+set datafile missing '-'
+set title "Batch strategies vs batch size (32 B payload)" noenhanced
+set xlabel "batch" noenhanced
+set ylabel "MOPS" noenhanced
+set key outside right noenhanced
+set grid
+plot 'fig4.dat' using 1:2 title "SP" with linespoints, 'fig4.dat' using 1:3 title "Doorbell" with linespoints, 'fig4.dat' using 1:4 title "SGL" with linespoints, 'fig4.dat' using 1:5 title "Local-W" with linespoints, 'fig4.dat' using 1:6 title "Local-R" with linespoints

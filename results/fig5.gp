@@ -1,0 +1,10 @@
+# gnuplot script for fig5 — Per-thread throughput vs thread count (batch 4, 32 B)
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'fig5.svg'
+set datafile missing '-'
+set title "Per-thread throughput vs thread count (batch 4, 32 B)" noenhanced
+set xlabel "threads" noenhanced
+set ylabel "MOPS/thread" noenhanced
+set key outside right noenhanced
+set grid
+plot 'fig5.dat' using 1:2 title "SP (batch size=4)" with linespoints, 'fig5.dat' using 1:3 title "Doorbell (batch size=4)" with linespoints, 'fig5.dat' using 1:4 title "SGL (batch size=4)" with linespoints

@@ -1,0 +1,11 @@
+# gnuplot script for fig6a — RDMA Read: seq vs rand (2 GB registered region)
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'fig6a.svg'
+set datafile missing '-'
+set title "RDMA Read: seq vs rand (2 GB registered region)" noenhanced
+set xlabel "size(B)" noenhanced
+set ylabel "MOPS" noenhanced
+set key outside right noenhanced
+set grid
+set logscale x 2
+plot 'fig6a.dat' using 1:2 title "read-rand-rand" with linespoints, 'fig6a.dat' using 1:3 title "read-rand-seq" with linespoints, 'fig6a.dat' using 1:4 title "read-seq-rand" with linespoints, 'fig6a.dat' using 1:5 title "read-seq-seq" with linespoints

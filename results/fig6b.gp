@@ -1,0 +1,11 @@
+# gnuplot script for fig6b — RDMA Write: seq vs rand (2 GB registered region)
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'fig6b.svg'
+set datafile missing '-'
+set title "RDMA Write: seq vs rand (2 GB registered region)" noenhanced
+set xlabel "size(B)" noenhanced
+set ylabel "MOPS" noenhanced
+set key outside right noenhanced
+set grid
+set logscale x 2
+plot 'fig6b.dat' using 1:2 title "write-rand-rand" with linespoints, 'fig6b.dat' using 1:3 title "write-rand-seq" with linespoints, 'fig6b.dat' using 1:4 title "write-seq-rand" with linespoints, 'fig6b.dat' using 1:5 title "write-seq-seq" with linespoints

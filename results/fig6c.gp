@@ -1,0 +1,11 @@
+# gnuplot script for fig6c — DRAM read/write, seq vs rand (local memory)
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'fig6c.svg'
+set datafile missing '-'
+set title "DRAM read/write, seq vs rand (local memory)" noenhanced
+set xlabel "size(B)" noenhanced
+set ylabel "MOPS" noenhanced
+set key outside right noenhanced
+set grid
+set logscale x 2
+plot 'fig6c.dat' using 1:2 title "write-rand" with linespoints, 'fig6c.dat' using 1:3 title "write-seq" with linespoints, 'fig6c.dat' using 1:4 title "read-rand" with linespoints, 'fig6c.dat' using 1:5 title "read-seq" with linespoints

@@ -1,0 +1,10 @@
+# gnuplot script for fig6d — Write 32 B: seq vs rand across registered-region sizes (x: 4K,4M,16M,64M,256M,1G,4G)
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'fig6d.svg'
+set datafile missing '-'
+set title "Write 32 B: seq vs rand across registered-region sizes (x: 4K,4M,16M,64M,256M,1G,4G)" noenhanced
+set xlabel "size-idx" noenhanced
+set ylabel "MOPS" noenhanced
+set key outside right noenhanced
+set grid
+plot 'fig6d.dat' using 1:2 title "rand-rand" with linespoints, 'fig6d.dat' using 1:3 title "rand-seq" with linespoints, 'fig6d.dat' using 1:4 title "seq-rand" with linespoints, 'fig6d.dat' using 1:5 title "seq-seq" with linespoints

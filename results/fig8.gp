@@ -1,0 +1,10 @@
+# gnuplot script for fig8 — IO consolidation throughput vs θ (x: Native,1,2,4,8,16; 32 B skewed writes, 1 KB blocks)
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'fig8.svg'
+set datafile missing '-'
+set title "IO consolidation throughput vs θ (x: Native,1,2,4,8,16; 32 B skewed writes, 1 KB blocks)" noenhanced
+set xlabel "theta-idx" noenhanced
+set ylabel "MOPS" noenhanced
+set key outside right noenhanced
+set grid
+plot 'fig8.dat' using 1:2 title "IO consolidation" with linespoints

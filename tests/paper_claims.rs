@@ -1,0 +1,125 @@
+//! The paper's headline claims, asserted as shape bands on small-scale
+//! runs (full-scale numbers come from `repro all`; these guard against
+//! regressions that would flip a conclusion).
+
+use rdma_memsem::host::{local_spinlock_mops, HostMemConfig};
+use rdma_memsem::study::{
+    run_dlog, run_hashtable, run_join, run_shuffle, single_machine_time, DlogConfig, HtConfig,
+    HtVariant, JoinConfig, ShuffleConfig, ShuffleVariant,
+};
+
+/// §IV-B: the optimized disaggregated hashtable lands in the paper's
+/// 1.85–2.70x band (we allow a slightly wider envelope).
+#[test]
+fn hashtable_speedup_band() {
+    let base = HtConfig { front_ends: 6, keys: 1 << 16, ops_per_fe: 800, ..Default::default() };
+    let basic = run_hashtable(&HtConfig { variant: HtVariant::Basic, ..base.clone() });
+    let best = run_hashtable(&HtConfig { variant: HtVariant::Reorder { theta: 16 }, ..base });
+    let speedup = best.mops / basic.mops;
+    assert!(
+        (1.7..=3.4).contains(&speedup),
+        "hashtable speedup {speedup:.2} outside the paper band (2.7x)"
+    );
+}
+
+/// §IV-C: batched shuffle beats the naive one by multiples (paper 5.8x).
+#[test]
+fn shuffle_speedup_band() {
+    let base = ShuffleConfig { executors: 16, entries_per_executor: 2000, ..Default::default() };
+    let basic = run_shuffle(&ShuffleConfig { variant: ShuffleVariant::Basic, ..base.clone() });
+    let sp = run_shuffle(&ShuffleConfig { variant: ShuffleVariant::Sp(16), ..base });
+    assert!(basic.verified && sp.verified);
+    let speedup = sp.mops / basic.mops;
+    assert!(
+        (3.0..=8.0).contains(&speedup),
+        "shuffle speedup {speedup:.2} outside the paper band (5.8x)"
+    );
+}
+
+/// §IV-D: the fully optimized join beats the single machine by multiples
+/// (paper 5.3x) and the naive distributed version by more (paper 10.3x).
+#[test]
+fn join_speedup_bands() {
+    let tuples = 1 << 16;
+    let best = run_join(&JoinConfig {
+        executors: 16,
+        batch: 16,
+        tuples,
+        verify: false,
+        ..Default::default()
+    });
+    let naive = run_join(&JoinConfig {
+        executors: 4,
+        batch: 1,
+        tuples,
+        numa: false,
+        verify: false,
+        ..Default::default()
+    });
+    let single = single_machine_time(tuples);
+    let vs_single = single.as_ns() / best.time.as_ns();
+    let vs_naive = naive.time.as_ns() / best.time.as_ns();
+    assert!((3.0..=14.0).contains(&vs_single), "join vs single {vs_single:.1}");
+    assert!((6.0..=22.0).contains(&vs_naive), "join vs naive {vs_naive:.1}");
+    assert!(vs_naive > vs_single, "naive distributed must be the worst");
+}
+
+/// §IV-E: batch-32 logging multiplies throughput (paper 9.1x).
+#[test]
+fn dlog_speedup_band() {
+    let base = DlogConfig { engines: 7, records_per_engine: 800, ..Default::default() };
+    let b1 = run_dlog(&DlogConfig { batch: 1, ..base.clone() });
+    let b32 = run_dlog(&DlogConfig { batch: 32, ..base });
+    assert!(b1.verified && b32.verified);
+    let speedup = b32.mops / b1.mops;
+    assert!(
+        (5.0..=12.0).contains(&speedup),
+        "dlog speedup {speedup:.2} outside the paper band (9.1x)"
+    );
+}
+
+/// §III-D: NUMA-aware placement helps every application.
+#[test]
+fn numa_awareness_helps_everywhere() {
+    let ht_base = HtConfig { front_ends: 6, keys: 1 << 15, ops_per_fe: 600, ..Default::default() };
+    let ht_basic = run_hashtable(&HtConfig { variant: HtVariant::Basic, ..ht_base.clone() });
+    let ht_numa = run_hashtable(&HtConfig { variant: HtVariant::Numa, ..ht_base });
+    assert!(ht_numa.mops > ht_basic.mops);
+
+    let sh = ShuffleConfig {
+        executors: 8,
+        entries_per_executor: 1200,
+        variant: ShuffleVariant::Sp(16),
+        ..Default::default()
+    };
+    let sh_numa = run_shuffle(&ShuffleConfig { numa: true, ..sh.clone() });
+    let sh_obl = run_shuffle(&ShuffleConfig { numa: false, ..sh });
+    assert!(sh_numa.mops > sh_obl.mops);
+
+    let dl = DlogConfig { engines: 7, batch: 16, records_per_engine: 600, ..Default::default() };
+    let dl_numa = run_dlog(&DlogConfig { numa: true, ..dl.clone() });
+    let dl_obl = run_dlog(&DlogConfig { numa: false, ..dl });
+    assert!(dl_numa.mops > dl_obl.mops);
+}
+
+/// §III-E: exponential backoff rescues the local spinlock under
+/// contention, and the atomic-unit-bound designs stay in their lanes.
+#[test]
+fn backoff_and_atomic_unit_claims() {
+    let host = HostMemConfig::default();
+    assert!(local_spinlock_mops(&host, 14, true) > 5.0 * local_spinlock_mops(&host, 14, false));
+
+    // The FAA-versioned hashtable ablation caps near the atomic units.
+    let faa = run_hashtable(&HtConfig {
+        front_ends: 10,
+        keys: 1 << 15,
+        ops_per_fe: 600,
+        variant: HtVariant::VersionedFaa,
+        ..Default::default()
+    });
+    assert!(
+        faa.mops < 5.5,
+        "FAA-per-insert must cap near 2x the 2.35 MOPS atomic unit, got {:.2}",
+        faa.mops
+    );
+}

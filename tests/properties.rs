@@ -1,0 +1,180 @@
+//! Property-based tests (proptest) over the core invariants: simulated
+//! memory behaves like memory, the timeline allocator never double-books,
+//! atomics conserve, the LRU matches a reference model, and workload
+//! encodings round-trip.
+
+use proptest::prelude::*;
+use rdma_memsem::net::{ClusterConfig, Endpoint, Testbed};
+use rdma_memsem::nic::{CqeStatus, MrId, RKey, Sge, VerbKind, WorkRequest, WrId};
+use rdma_memsem::sim::{KServer, LruSet, SimTime};
+use std::collections::HashMap;
+
+/// A random program of writes and reads against one remote region must
+/// agree with a plain `Vec<u8>` model.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { off: u16, data: Vec<u8> },
+    Read { off: u16, len: u8 },
+    Faa { off_slot: u8, delta: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..3000, proptest::collection::vec(any::<u8>(), 1..64))
+            .prop_map(|(off, data)| Op::Write { off, data }),
+        (0u16..3000, 1u8..64).prop_map(|(off, len)| Op::Read { off, len }),
+        (0u8..16, any::<u32>()).prop_map(|(off_slot, delta)| Op::Faa { off_slot, delta }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn remote_memory_matches_a_byte_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut tb = Testbed::new(ClusterConfig::two_machines());
+        let src = tb.register(0, 1, 8192);
+        let dst = tb.register(1, 1, 8192);
+        let conn = tb.connect(Endpoint::affine(0, 1), Endpoint::affine(1, 1));
+        let rkey = RKey(dst.0 as u64);
+        let mut model = vec![0u8; 8192];
+        let mut t = SimTime::ZERO;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Write { off, data } => {
+                    let off = *off as u64;
+                    tb.machine_mut(0).mem.write(src, 0, data);
+                    let wr = WorkRequest::write(i as u64, Sge::new(src, 0, data.len() as u64), rkey, off);
+                    let c = tb.post_one(t, conn, wr);
+                    prop_assert_eq!(c.status, CqeStatus::Success);
+                    t = c.at;
+                    model[off as usize..off as usize + data.len()].copy_from_slice(data);
+                }
+                Op::Read { off, len } => {
+                    let off = *off as u64;
+                    let len = *len as u64;
+                    let wr = WorkRequest::read(i as u64, Sge::new(src, 4096, len), rkey, off);
+                    let c = tb.post_one(t, conn, wr);
+                    prop_assert_eq!(c.status, CqeStatus::Success);
+                    t = c.at;
+                    let got = tb.machine(0).mem.read(src, 4096, len);
+                    prop_assert_eq!(&got[..], &model[off as usize..(off + len) as usize]);
+                }
+                Op::Faa { off_slot, delta } => {
+                    // Aligned 8-byte counters in the 4096.. area of dst.
+                    let off = 4096 + *off_slot as u64 * 8;
+                    let wr = WorkRequest {
+                        wr_id: WrId(i as u64),
+                        kind: VerbKind::FetchAdd { delta: *delta as u64 },
+                        sgl: vec![Sge::new(src, 0, 8)],
+                        remote: Some((rkey, off)),
+                        signaled: true,
+                    };
+                    let c = tb.post_one(t, conn, wr);
+                    prop_assert_eq!(c.status, CqeStatus::Success);
+                    t = c.at;
+                    let old = u64::from_le_bytes(model[off as usize..off as usize + 8].try_into().unwrap());
+                    prop_assert_eq!(c.old_value, old);
+                    model[off as usize..off as usize + 8]
+                        .copy_from_slice(&old.wrapping_add(*delta as u64).to_le_bytes());
+                }
+            }
+        }
+        // Final memory image agrees everywhere.
+        prop_assert_eq!(tb.machine(1).mem.read(dst, 0, 8192), model);
+    }
+
+    /// The gap-filling KServer never overlaps two bookings on one unit
+    /// and never serves before the request is ready.
+    #[test]
+    fn kserver_bookings_never_overlap(
+        reqs in proptest::collection::vec((0u64..100_000, 1u64..5_000), 1..120),
+        units in 1usize..4,
+    ) {
+        let mut s = KServer::new(units);
+        let mut intervals: Vec<(u64, u64)> = Vec::new();
+        for &(ready, service) in &reqs {
+            let (start, end) = s.acquire(SimTime::from_ps(ready), SimTime::from_ps(service));
+            prop_assert!(start.as_ps() >= ready, "served before ready");
+            prop_assert_eq!(end.as_ps() - start.as_ps(), service);
+            intervals.push((start.as_ps(), end.as_ps()));
+        }
+        // Across all units, at any instant at most `units` bookings overlap.
+        let mut events: Vec<(u64, i64)> = Vec::new();
+        for &(s0, e0) in &intervals {
+            events.push((s0, 1));
+            events.push((e0, -1));
+        }
+        events.sort();
+        let mut depth = 0i64;
+        for (_, d) in events {
+            depth += d;
+            prop_assert!(depth <= units as i64, "more overlap than units");
+        }
+    }
+
+    /// The LRU set agrees with a brute-force reference model.
+    #[test]
+    fn lru_matches_reference(keys in proptest::collection::vec(0u64..40, 1..300), cap in 1usize..12) {
+        let mut lru = LruSet::new(cap);
+        let mut model: Vec<u64> = Vec::new(); // front = MRU
+        for &k in &keys {
+            let hit = lru.access(k);
+            let model_hit = model.contains(&k);
+            prop_assert_eq!(hit, model_hit, "divergence on key {}", k);
+            model.retain(|&x| x != k);
+            model.insert(0, k);
+            model.truncate(cap);
+        }
+    }
+
+    /// Log records survive encode/decode across arbitrary bodies, and a
+    /// packed log scans back exactly.
+    #[test]
+    fn log_records_round_trip(bodies in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..100), 1..20)) {
+        use rdma_memsem::gen::{scan_log, Record};
+        let mut log = Vec::new();
+        for (i, body) in bodies.iter().enumerate() {
+            let r = Record { engine: 1, seq: i as u32, body: body.clone() };
+            log.extend_from_slice(&r.encode());
+        }
+        log.extend_from_slice(&[0u8; 64]);
+        let back = scan_log(&log);
+        prop_assert_eq!(back.len(), bodies.len());
+        for (i, r) in back.iter().enumerate() {
+            prop_assert_eq!(&r.body, &bodies[i]);
+        }
+    }
+
+    /// Shuffle entries round-trip and route identically after re-encode.
+    #[test]
+    fn shuffle_entries_round_trip(key in any::<u64>(), value in proptest::collection::vec(any::<u8>(), 0..128), consumers in 1usize..64) {
+        use rdma_memsem::gen::Entry;
+        let e = Entry { key, value };
+        let decoded = Entry::decode(&e.encode(), e.value.len());
+        prop_assert_eq!(&decoded, &e);
+        prop_assert_eq!(decoded.destination(consumers), e.destination(consumers));
+        prop_assert!(e.destination(consumers) < consumers);
+    }
+
+    /// Zipf draws stay in range and rank popularity is monotone in the
+    /// aggregate (rank r is drawn at least as often as rank r+8, over a
+    /// large sample).
+    #[test]
+    fn zipf_is_monotone_in_rank(seed in any::<u64>()) {
+        use rdma_memsem::gen::Zipf;
+        use rdma_memsem::sim::SimRng;
+        let z = Zipf::paper(256);
+        let mut rng = SimRng::new(seed);
+        let mut counts = HashMap::new();
+        for _ in 0..20_000 {
+            let r = z.rank(&mut rng);
+            prop_assert!(r < 256);
+            *counts.entry(r).or_insert(0u64) += 1;
+        }
+        let get = |r: u64| counts.get(&r).copied().unwrap_or(0);
+        for r in [0u64, 8, 16, 32, 64] {
+            prop_assert!(get(r) + 50 >= get(r + 8), "rank {} vs {}", r, r + 8);
+        }
+    }
+}
