@@ -227,7 +227,7 @@ impl FrontEnd {
         let wr = WorkRequest {
             wr_id: WrId(key),
             kind: VerbKind::FetchAdd { delta: 1 },
-            sgl: vec![Sge::new(self.staging, 0, 8)],
+            sgl: Sge::new(self.staging, 0, 8).into(),
             remote: Some((Self::rkey(self.tables.table[socket]), slot)),
             signaled: true,
         };
@@ -595,7 +595,7 @@ pub fn verify_hashtable_contents(keys_to_check: u64) -> bool {
         let wr = WorkRequest {
             wr_id: WrId(key),
             kind: VerbKind::FetchAdd { delta: 1 },
-            sgl: vec![Sge::new(staging, 0, 8)],
+            sgl: Sge::new(staging, 0, 8).into(),
             remote: Some((RKey(table[socket].0 as u64), slot)),
             signaled: true,
         };

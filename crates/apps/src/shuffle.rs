@@ -221,7 +221,7 @@ impl Client for Executor {
                     let wr = WorkRequest {
                         wr_id: WrId(self.id as u64),
                         kind: VerbKind::FetchAdd { delta: 1 },
-                        sgl: vec![Sge::new(self.staging, 0, 8)],
+                        sgl: Sge::new(self.staging, 0, 8).into(),
                         remote: Some((self.sync.1, 0)),
                         signaled: true,
                     };

@@ -1,25 +1,25 @@
 //! Randomized application-level invariants: whatever the configuration,
 //! the applications must stay *correct* — data delivered, logs gap-free,
-//! joins exact — and their reports self-consistent.
+//! joins exact — and their reports self-consistent. Configurations are
+//! drawn from the deterministic [`SimRng`] so every run is reproducible.
 
 use apps::{
     run_dlog, run_hashtable, run_join, run_shuffle, DlogConfig, HtConfig, HtVariant, JoinConfig,
     ShuffleConfig, ShuffleVariant,
 };
-use proptest::prelude::*;
-use simcore::SimTime;
+use simcore::{SimRng, SimTime};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+const CASES: u64 = 6;
 
-    #[test]
-    fn shuffle_never_loses_entries(
-        executors in 2usize..10,
-        value_len in 1usize..64,
-        batch in 1usize..20,
-        sp in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn shuffle_never_loses_entries() {
+    let mut rng = SimRng::new(0xA901);
+    for _ in 0..CASES {
+        let executors = 2 + rng.gen_range(8) as usize;
+        let value_len = 1 + rng.gen_range(63) as usize;
+        let batch = 1 + rng.gen_range(19) as usize;
+        let sp = rng.gen_bool(0.5);
+        let seed = rng.next_u64();
         let variant = if batch == 1 {
             ShuffleVariant::Basic
         } else if sp {
@@ -35,19 +35,21 @@ proptest! {
             seed,
             ..Default::default()
         });
-        prop_assert!(r.verified, "shuffle lost or corrupted entries");
-        prop_assert_eq!(r.entries, 600 * executors as u64);
-        prop_assert!(r.mops > 0.0);
+        assert!(r.verified, "shuffle lost or corrupted entries");
+        assert_eq!(r.entries, 600 * executors as u64);
+        assert!(r.mops > 0.0);
     }
+}
 
-    #[test]
-    fn dlog_is_always_gap_free(
-        engines in 1usize..10,
-        batch in 1usize..33,
-        body_len in 1usize..200,
-        numa in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn dlog_is_always_gap_free() {
+    let mut rng = SimRng::new(0xA902);
+    for _ in 0..CASES {
+        let engines = 1 + rng.gen_range(9) as usize;
+        let batch = 1 + rng.gen_range(32) as usize;
+        let body_len = 1 + rng.gen_range(199) as usize;
+        let numa = rng.gen_bool(0.5);
+        let seed = rng.next_u64();
         let r = run_dlog(&DlogConfig {
             engines,
             batch,
@@ -57,17 +59,19 @@ proptest! {
             seed,
             ..Default::default()
         });
-        prop_assert!(r.verified, "log had gaps, overlaps, or corruption");
-        prop_assert_eq!(r.records, 200 * engines as u64);
+        assert!(r.verified, "log had gaps, overlaps, or corruption");
+        assert_eq!(r.records, 200 * engines as u64);
     }
+}
 
-    #[test]
-    fn join_is_always_exact(
-        executors in 2usize..8,
-        batch in 1usize..17,
-        numa in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn join_is_always_exact() {
+    let mut rng = SimRng::new(0xA903);
+    for _ in 0..CASES {
+        let executors = 2 + rng.gen_range(6) as usize;
+        let batch = 1 + rng.gen_range(16) as usize;
+        let numa = rng.gen_bool(0.5);
+        let seed = rng.next_u64();
         let tuples = 1u64 << 11;
         let r = run_join(&JoinConfig {
             executors,
@@ -78,17 +82,19 @@ proptest! {
             seed,
             ..Default::default()
         });
-        prop_assert!(r.verified, "join result diverged");
-        prop_assert_eq!(r.matches, tuples);
-        prop_assert!(r.partition_time < r.time);
+        assert!(r.verified, "join result diverged");
+        assert_eq!(r.matches, tuples);
+        assert!(r.partition_time < r.time);
     }
+}
 
-    #[test]
-    fn hashtable_reports_are_consistent(
-        front_ends in 1usize..8,
-        theta in prop_oneof![Just(0usize), Just(4), Just(16)],
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn hashtable_reports_are_consistent() {
+    let mut rng = SimRng::new(0xA904);
+    for _ in 0..CASES {
+        let front_ends = 1 + rng.gen_range(7) as usize;
+        let theta = [0usize, 4, 16][rng.gen_range(3) as usize];
+        let seed = rng.next_u64();
         let variant = if theta == 0 { HtVariant::Numa } else { HtVariant::Reorder { theta } };
         let r = run_hashtable(&HtConfig {
             front_ends,
@@ -98,13 +104,13 @@ proptest! {
             seed,
             ..Default::default()
         });
-        prop_assert_eq!(r.ops, 400 * front_ends as u64);
-        prop_assert!(r.makespan > SimTime::ZERO);
-        prop_assert!(r.mops > 0.0);
+        assert_eq!(r.ops, 400 * front_ends as u64);
+        assert!(r.makespan > SimTime::ZERO);
+        assert!(r.mops > 0.0);
         if theta == 0 {
-            prop_assert_eq!(r.hot_fraction, 0.0);
+            assert_eq!(r.hot_fraction, 0.0);
         } else {
-            prop_assert!(r.hot_fraction > 0.0 && r.hot_fraction < 1.0);
+            assert!(r.hot_fraction > 0.0 && r.hot_fraction < 1.0);
         }
     }
 }

@@ -1,43 +1,34 @@
-//! Criterion benches over whole application runs: wall-clock cost of
+//! Standalone benches over whole application runs: wall-clock cost of
 //! regenerating one figure point (these are what `repro all` pays).
 
-use apps::{run_dlog, run_hashtable, run_shuffle, DlogConfig, HtConfig, HtVariant, ShuffleConfig, ShuffleVariant};
-use criterion::{criterion_group, criterion_main, Criterion};
+use apps::{
+    run_dlog, run_hashtable, run_shuffle, DlogConfig, HtConfig, HtVariant, ShuffleConfig,
+    ShuffleVariant,
+};
+use bench::harness::bench;
 
-fn bench_apps(c: &mut Criterion) {
-    let mut g = c.benchmark_group("applications");
-    g.sample_size(10);
-    g.bench_function("hashtable_point", |b| {
-        b.iter(|| {
-            run_hashtable(&HtConfig {
-                front_ends: 6,
-                keys: 1 << 14,
-                ops_per_fe: 600,
-                variant: HtVariant::Reorder { theta: 16 },
-                ..Default::default()
-            })
+fn main() {
+    bench("applications/hashtable_point", 1, || {
+        run_hashtable(&HtConfig {
+            front_ends: 6,
+            keys: 1 << 14,
+            ops_per_fe: 600,
+            variant: HtVariant::Reorder { theta: 16 },
+            ..Default::default()
+        })
+        .mops
+    });
+    bench("applications/shuffle_point", 1, || {
+        run_shuffle(&ShuffleConfig {
+            executors: 8,
+            entries_per_executor: 1500,
+            variant: ShuffleVariant::Sp(16),
+            ..Default::default()
+        })
+        .mops
+    });
+    bench("applications/dlog_point", 1, || {
+        run_dlog(&DlogConfig { engines: 7, batch: 16, records_per_engine: 800, ..Default::default() })
             .mops
-        })
     });
-    g.bench_function("shuffle_point", |b| {
-        b.iter(|| {
-            run_shuffle(&ShuffleConfig {
-                executors: 8,
-                entries_per_executor: 1500,
-                variant: ShuffleVariant::Sp(16),
-                ..Default::default()
-            })
-            .mops
-        })
-    });
-    g.bench_function("dlog_point", |b| {
-        b.iter(|| {
-            run_dlog(&DlogConfig { engines: 7, batch: 16, records_per_engine: 800, ..Default::default() })
-                .mops
-        })
-    });
-    g.finish();
 }
-
-criterion_group!(benches, bench_apps);
-criterion_main!(benches);

@@ -1,125 +1,117 @@
-//! Criterion benches for the simulation engine's hot paths: these bound
+//! Standalone benches for the simulation engine's hot paths: these bound
 //! how fast the reproduction harness itself runs (wall-clock per simulated
 //! operation), independent of virtual-time results.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::harness::bench;
 use simcore::{EventQueue, KServer, LruSet, SimRng, SimTime};
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
+fn bench_event_queue() {
     for &n in &[1_000u64, 100_000] {
-        g.throughput(Throughput::Elements(n));
-        g.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut q = EventQueue::new();
-                let mut rng = SimRng::new(1);
-                for i in 0..n {
-                    q.push(SimTime::from_ps(rng.next_u64() % 1_000_000), i);
-                }
-                let mut last = SimTime::ZERO;
-                while let Some((t, _)) = q.pop() {
-                    assert!(t >= last);
-                    last = t;
-                }
-            })
+        bench(&format!("event_queue/push_pop_{n}"), n, || {
+            let mut q = EventQueue::new();
+            let mut rng = SimRng::new(1);
+            for i in 0..n {
+                q.push(SimTime::from_ps(rng.next_u64() % 1_000_000), i);
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((t, _)) = q.pop() {
+                assert!(t >= last);
+                last = t;
+            }
+            last
         });
     }
-    g.finish();
+    // The near-future pattern run_clients produces: pop one event, push
+    // its successor a short hop ahead.
+    bench("event_queue/hot_loop_ticks", 1_000_000, || {
+        let mut q = EventQueue::new();
+        for i in 0..8u64 {
+            q.push(SimTime::from_ns(i), i);
+        }
+        let mut n = 0u64;
+        while n < 1_000_000 {
+            let (t, i) = q.pop().expect("non-empty");
+            q.push(t + SimTime::from_ns(100), i);
+            n += 1;
+        }
+        q.len()
+    });
 }
 
-fn bench_kserver(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kserver");
-    g.throughput(Throughput::Elements(100_000));
+fn bench_kserver() {
     // Saturated: back-to-back bookings merge into one interval.
-    g.bench_function("acquire_saturated", |b| {
-        b.iter(|| {
-            let mut s = KServer::new(4);
-            for _ in 0..100_000u64 {
-                s.acquire(SimTime::ZERO, SimTime::from_ns(100));
-            }
-            s.earliest_free()
-        })
+    bench("kserver/acquire_saturated", 100_000, || {
+        let mut s = KServer::new(4);
+        for _ in 0..100_000u64 {
+            s.acquire(SimTime::ZERO, SimTime::from_ns(100));
+        }
+        s.earliest_free()
     });
     // Sparse: bookings land in scattered gaps (worst case for the
     // interval list).
-    g.bench_function("acquire_sparse", |b| {
-        b.iter(|| {
-            let mut s = KServer::new(1);
-            let mut rng = SimRng::new(2);
-            for _ in 0..100_000u64 {
-                let ready = SimTime::from_ns(rng.next_u64() % 1_000_000);
-                s.acquire(ready, SimTime::from_ns(30));
-            }
-            s.earliest_free()
-        })
+    bench("kserver/acquire_sparse", 100_000, || {
+        let mut s = KServer::new(1);
+        let mut rng = SimRng::new(2);
+        for _ in 0..100_000u64 {
+            let ready = SimTime::from_ns(rng.next_u64() % 1_000_000);
+            s.acquire(ready, SimTime::from_ns(30));
+        }
+        s.earliest_free()
     });
-    g.finish();
 }
 
-fn bench_lru(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lru");
-    g.throughput(Throughput::Elements(1_000_000));
-    g.bench_function("access_zipf_like", |b| {
-        b.iter(|| {
-            let mut lru = LruSet::new(1024);
-            let mut rng = SimRng::new(3);
-            let mut hits = 0u64;
-            for _ in 0..1_000_000u64 {
-                // 80/20-ish mix: hot 512 keys + cold tail.
-                let k = if rng.gen_bool(0.8) { rng.gen_range(512) } else { rng.gen_range(1 << 20) };
-                if lru.access(k) {
-                    hits += 1;
-                }
+fn bench_lru() {
+    bench("lru/access_zipf_like", 1_000_000, || {
+        let mut lru = LruSet::new(1024);
+        let mut rng = SimRng::new(3);
+        let mut hits = 0u64;
+        for _ in 0..1_000_000u64 {
+            // 80/20-ish mix: hot 512 keys + cold tail.
+            let k = if rng.gen_bool(0.8) { rng.gen_range(512) } else { rng.gen_range(1 << 20) };
+            if lru.access(k) {
+                hits += 1;
             }
-            hits
-        })
+        }
+        hits
     });
-    g.finish();
 }
 
-fn bench_rng(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rng");
-    g.throughput(Throughput::Elements(1_000_000));
-    g.bench_function("xoshiro_next", |b| {
-        b.iter(|| {
-            let mut rng = SimRng::new(4);
-            let mut acc = 0u64;
-            for _ in 0..1_000_000 {
-                acc = acc.wrapping_add(rng.next_u64());
-            }
-            acc
-        })
+fn bench_rng() {
+    bench("rng/xoshiro_next", 1_000_000, || {
+        let mut rng = SimRng::new(4);
+        let mut acc = 0u64;
+        for _ in 0..1_000_000 {
+            acc = acc.wrapping_add(rng.next_u64());
+        }
+        acc
     });
-    g.finish();
 }
 
-fn bench_models(c: &mut Criterion) {
-    let mut g = c.benchmark_group("models");
-    g.throughput(Throughput::Elements(1_000_000));
-    g.bench_function("zipf_scrambled_draw", |b| {
-        let z = workloads::Zipf::paper(1 << 20);
-        b.iter(|| {
-            let mut rng = SimRng::new(5);
-            let mut acc = 0u64;
-            for _ in 0..1_000_000 {
-                acc = acc.wrapping_add(z.scrambled_key(&mut rng));
-            }
-            acc
-        })
+fn bench_models() {
+    let z = workloads::Zipf::paper(1 << 20);
+    bench("models/zipf_scrambled_draw", 1_000_000, || {
+        let mut rng = SimRng::new(5);
+        let mut acc = 0u64;
+        for _ in 0..1_000_000 {
+            acc = acc.wrapping_add(z.scrambled_key(&mut rng));
+        }
+        acc
     });
-    g.bench_function("dram_access", |b| {
-        b.iter(|| {
-            let mut d = memmodel::DramModel::paper_default();
-            let mut rng = SimRng::new(6);
-            let mut total = SimTime::ZERO;
-            for _ in 0..1_000_000 {
-                total += d.access(rng.gen_range(1 << 24) * 64);
-            }
-            total
-        })
+    bench("models/dram_access", 1_000_000, || {
+        let mut d = memmodel::DramModel::paper_default();
+        let mut rng = SimRng::new(6);
+        let mut total = SimTime::ZERO;
+        for _ in 0..1_000_000 {
+            total += d.access(rng.gen_range(1 << 24) * 64);
+        }
+        total
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_kserver, bench_lru, bench_rng, bench_models);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_kserver();
+    bench_lru();
+    bench_rng();
+    bench_models();
+}

@@ -42,7 +42,7 @@ impl Client for RemoteLockClient {
                 let wr = WorkRequest {
                     wr_id: WrId(self.attempts as u64),
                     kind: VerbKind::CompareSwap { expected: 0, desired: 1 },
-                    sgl: vec![Sge::new(self.scratch, 0, 8)],
+                    sgl: Sge::new(self.scratch, 0, 8).into(),
                     remote: Some((self.lock, 0)),
                     signaled: true,
                 };
@@ -66,7 +66,7 @@ impl Client for RemoteLockClient {
                 let wr = WorkRequest {
                     wr_id: WrId(u64::MAX),
                     kind: VerbKind::Write,
-                    sgl: vec![Sge::new(self.scratch, 8, 8)],
+                    sgl: Sge::new(self.scratch, 8, 8).into(),
                     remote: Some((self.lock, 0)),
                     signaled: true,
                 };
@@ -183,7 +183,7 @@ pub fn remote_sequencer_mops(threads: usize, tickets_per_thread: u64) -> f64 {
             let wr = WorkRequest {
                 wr_id: WrId(i),
                 kind: VerbKind::FetchAdd { delta: 1 },
-                sgl: vec![Sge::new(scratch, 0, 8)],
+                sgl: Sge::new(scratch, 0, 8).into(),
                 remote: Some((rkey, 0)),
                 signaled: true,
             };

@@ -1,0 +1,36 @@
+//! A tiny timing harness for the standalone bench binaries in
+//! `benches/` (built with `harness = false`, so they are plain `main`
+//! programs and need no external framework — the container is offline).
+//!
+//! Each benchmark is a closure over a fixed element count; the harness
+//! warms it up, runs it a few times, and prints the best per-element
+//! time plus throughput. Output is one line per benchmark:
+//!
+//! ```text
+//! event_queue/push_pop_1k            82.3 ns/elem   12.15 M elem/s
+//! ```
+
+use std::time::Instant;
+
+/// Warmup iterations before timing.
+const WARMUP_RUNS: usize = 2;
+/// Timed iterations; the fastest is reported (least-noise estimator).
+const TIMED_RUNS: usize = 5;
+
+/// Time `work` (which processes `elems` elements per run) and print one
+/// report line. The closure's return value is black-boxed so the
+/// optimizer cannot delete the work.
+pub fn bench<R>(name: &str, elems: u64, mut work: impl FnMut() -> R) {
+    for _ in 0..WARMUP_RUNS {
+        std::hint::black_box(work());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..TIMED_RUNS {
+        let t0 = Instant::now();
+        std::hint::black_box(work());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    let ns_per = best * 1e9 / elems as f64;
+    let m_per_s = elems as f64 / best / 1e6;
+    println!("{name:<42} {ns_per:>10.1} ns/elem {m_per_s:>10.2} M elem/s");
+}

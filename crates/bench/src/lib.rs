@@ -2,31 +2,108 @@
 //!
 //! Regenerates every data table and figure of *Thinking More about RDMA
 //! Memory Semantics* (CLUSTER 2021) from the simulated testbed. The
-//! `repro` binary drives the modules here; Criterion benches (in
-//! `benches/`) cover simulator hot paths.
+//! `repro` binary drives the modules here; standalone timing binaries
+//! (in `benches/`, built on [`harness`]) cover simulator hot paths.
+//!
+//! Experiments are independent deterministic simulations, so the runner
+//! fans them out across cores with [`par_map`]; results are merged back
+//! in submission order and are byte-identical to a serial run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 pub mod ablate;
 pub mod appfigs;
 pub mod atomics;
+pub mod harness;
 pub mod micro;
 pub mod report;
 
 pub use appfigs::Scale;
 pub use report::{Experiment, Output};
 
+/// `0` = decide automatically; otherwise the fixed worker count set by
+/// [`set_parallelism`].
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pin the number of worker threads [`par_map`] uses (`Some(1)` forces
+/// serial execution); `None` restores the default (the `REPRO_JOBS` env
+/// var if set, else the machine's available parallelism). Parallelism
+/// only changes wall-clock, never results — experiments are independent
+/// deterministic simulations and outputs are merged in input order.
+pub fn set_parallelism(jobs: Option<usize>) {
+    JOBS_OVERRIDE.store(jobs.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The worker count [`par_map`] will use for `n` items.
+pub fn parallelism(n: usize) -> usize {
+    let configured = match JOBS_OVERRIDE.load(Ordering::SeqCst) {
+        0 => std::env::var("REPRO_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&j| j > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            }),
+        j => j,
+    };
+    configured.min(n).max(1)
+}
+
 /// Order-preserving parallel map over independent experiment points
 /// (scoped threads; every simulation run is self-contained and `Send`).
+///
+/// A bounded worker pool pulls items off a shared cursor, so `items` may
+/// be much longer than the core count. Results come back in input order
+/// regardless of scheduling, and each worker's simulated-op count
+/// ([`simcore::opcount`]) is folded into the calling thread's counter, so
+/// op accounting stays exact under nesting (experiment-level fan-out
+/// over point-level fan-out).
 pub fn par_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
-    let mut results: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = parallelism(n);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut child_ops = 0u64;
     std::thread::scope(|scope| {
-        for (slot, item) in results.iter_mut().zip(items) {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
             let f = &f;
-            scope.spawn(move || *slot = Some(f(item)));
+            let slots = &slots;
+            let cursor = &cursor;
+            handles.push(scope.spawn(move || {
+                let ops_before = simcore::opcount::current();
+                let mut out = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i].lock().expect("poisoned").take().expect("taken once");
+                    out.push((i, f(item)));
+                }
+                (out, simcore::opcount::current() - ops_before)
+            }));
+        }
+        for h in handles {
+            let (pairs, ops) = h.join().expect("worker panicked");
+            child_ops += ops;
+            for (i, r) in pairs {
+                results[i] = Some(r);
+            }
         }
     });
+    simcore::opcount::add(child_ops);
     results.into_iter().map(|r| r.expect("worker finished")).collect()
 }
 
@@ -36,6 +113,10 @@ pub const ALL_IDS: &[&str] = &[
     "fig12", "fig13", "fig15", "fig16", "fig17", "fig18", "fig19", "extra-mr-scale",
     "extra-qp-scale", "extra-recovery", "extra-reg-cost", "extra-ycsb", "ablate-occupancy", "ablate-mtt", "ablate-backoff", "ablate-inline",
 ];
+
+/// The §III microbenchmark set (the bench wall-clock acceptance target).
+pub const MICRO_IDS: &[&str] =
+    &["fig1", "fig3", "fig4", "fig5", "table1", "fig6", "fig8", "table2", "table3"];
 
 /// Run one experiment group by id.
 pub fn run_experiment(id: &str, scale: Scale) -> Vec<Experiment> {
@@ -88,5 +169,26 @@ mod tests {
                 assert!(!e.render().is_empty());
             }
         }
+    }
+
+    #[test]
+    fn par_map_preserves_order_and_ops() {
+        let before = simcore::opcount::current();
+        let out = par_map((0..100u64).collect(), |i| {
+            simcore::opcount::add(i);
+            i * 2
+        });
+        assert_eq!(out, (0..100u64).map(|i| i * 2).collect::<Vec<_>>());
+        // All worker-side op counts landed on the calling thread.
+        assert_eq!(simcore::opcount::current() - before, (0..100u64).sum::<u64>());
+    }
+
+    #[test]
+    fn par_map_serial_override_matches() {
+        set_parallelism(Some(1));
+        let serial = par_map((0..20u64).collect(), |i| i + 1);
+        set_parallelism(None);
+        let parallel = par_map((0..20u64).collect(), |i| i + 1);
+        assert_eq!(serial, parallel);
     }
 }

@@ -5,22 +5,138 @@
 //! repro fig12 fig19         # specific ones
 //! repro all --paper-scale   # full paper input sizes (slow)
 //! repro all --out results/  # also write .dat + .gp files per experiment
+//! repro all --jobs 4        # cap the worker threads (default: all cores)
+//! repro all --serial        # one worker (same output, more wall-clock)
+//! repro all --bench-json BENCH_engine.json   # machine-readable timings
+//! repro --check-determinism # prove serial and parallel runs agree
 //! ```
+//!
+//! Experiments are independent deterministic simulations, so the runner
+//! fans them out across cores; results are printed in the order the ids
+//! were given and are byte-identical to a serial run.
 //!
 //! With `--out`, every series experiment also gets a gnuplot script:
 //! `cd results && gnuplot *.gp` renders the figures to SVG.
 
-use bench::{run_experiment, Scale, ALL_IDS};
+use bench::{par_map, run_experiment, set_parallelism, Experiment, Scale, ALL_IDS, MICRO_IDS};
 use std::path::PathBuf;
+use std::time::Instant;
+
+/// One experiment group's outcome: what to print/save plus how much work
+/// the simulation did (for the machine-readable timing report).
+struct GroupRun {
+    id: String,
+    experiments: Vec<Experiment>,
+    wall_ms: f64,
+    sim_ops: u64,
+}
+
+fn run_group(id: String, scale: Scale) -> GroupRun {
+    let ops_before = simcore::opcount::current();
+    let start = Instant::now();
+    let experiments = run_experiment(&id, scale);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let sim_ops = simcore::opcount::current() - ops_before;
+    GroupRun { id, experiments, wall_ms, sim_ops }
+}
+
+/// Render every experiment of a run list to one string (the unit of the
+/// byte-identity guarantee).
+fn render_all(runs: &[GroupRun]) -> String {
+    let mut out = String::new();
+    for r in runs {
+        for e in &r.experiments {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Hand-rolled JSON (the container is offline; no serde): per-experiment
+/// wall-clock and simulated-operation throughput plus the total.
+fn bench_json(runs: &[GroupRun], total_wall_ms: f64, jobs: usize) -> String {
+    let mut s = String::from("{\n  \"schema\": \"bench-engine-v1\",\n");
+    s.push_str(&format!("  \"jobs\": {jobs},\n"));
+    s.push_str("  \"experiments\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let per_sec = if r.wall_ms > 0.0 { r.sim_ops as f64 / (r.wall_ms / 1e3) } else { 0.0 };
+        s.push_str(&format!(
+            "    {{\"id\": \"{}\", \"wall_ms\": {:.3}, \"sim_ops\": {}, \"sim_ops_per_sec\": {:.0}}}{}\n",
+            r.id,
+            r.wall_ms,
+            r.sim_ops,
+            per_sec,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    let total_ops: u64 = runs.iter().map(|r| r.sim_ops).sum();
+    let total_per_sec =
+        if total_wall_ms > 0.0 { total_ops as f64 / (total_wall_ms / 1e3) } else { 0.0 };
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"total_wall_ms\": {total_wall_ms:.3},\n"));
+    s.push_str(&format!("  \"total_sim_ops\": {total_ops},\n"));
+    s.push_str(&format!("  \"total_sim_ops_per_sec\": {total_per_sec:.0}\n"));
+    s.push_str("}\n");
+    s
+}
+
+/// Run a small experiment set once serially and once in parallel and
+/// require byte-identical rendered output. Exits non-zero on divergence.
+fn check_determinism(scale: Scale) {
+    let ids = ["table1", "table2"];
+    set_parallelism(Some(1));
+    let serial: Vec<GroupRun> =
+        ids.iter().map(|id| run_group(id.to_string(), scale)).collect();
+    set_parallelism(None);
+    let parallel = par_map(
+        ids.iter().map(|id| id.to_string()).collect(),
+        |id| run_group(id, scale),
+    );
+    let (a, b) = (render_all(&serial), render_all(&parallel));
+    if a == b {
+        println!("determinism check passed: serial and parallel output identical ({} bytes)", a.len());
+    } else {
+        eprintln!("determinism check FAILED: serial and parallel output differ");
+        for (ls, lp) in a.lines().zip(b.lines()) {
+            if ls != lp {
+                eprintln!("  serial  : {ls}");
+                eprintln!("  parallel: {lp}");
+            }
+        }
+        std::process::exit(1);
+    }
+}
 
 fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale { paper: false };
     let mut out_dir: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut do_check = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--paper-scale" => scale.paper = true,
+            "--serial" => set_parallelism(Some(1)),
+            "--jobs" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs needs a positive integer");
+                        std::process::exit(2);
+                    });
+                set_parallelism(Some(n));
+            }
+            "--check-determinism" => do_check = true,
+            "--bench-json" => {
+                json_path = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--bench-json needs a file path");
+                    std::process::exit(2);
+                })));
+            }
             "--out" => {
                 out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| {
                     eprintln!("--out needs a directory");
@@ -28,12 +144,22 @@ fn main() {
                 })));
             }
             "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            "micro" => ids.extend(MICRO_IDS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
-                println!("usage: repro [all | <id>...] [--paper-scale] [--out DIR]");
+                println!(
+                    "usage: repro [all | micro | <id>...] [--paper-scale] [--out DIR] \
+                     [--serial | --jobs N] [--bench-json PATH] [--check-determinism]"
+                );
                 println!("ids: {ALL_IDS:?}");
                 return;
             }
             other => ids.push(other.to_string()),
+        }
+    }
+    if do_check {
+        check_determinism(scale);
+        if ids.is_empty() {
+            return;
         }
     }
     if ids.is_empty() {
@@ -44,12 +170,14 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
 
-    for id in ids {
-        let start = std::time::Instant::now();
-        let experiments = run_experiment(&id, scale);
-        for e in experiments {
-            let rendered = e.render();
-            println!("{rendered}");
+    let total_start = Instant::now();
+    let jobs = bench::parallelism(ids.len());
+    let runs = par_map(ids, |id| run_group(id, scale));
+    let total_wall_ms = total_start.elapsed().as_secs_f64() * 1e3;
+
+    for r in &runs {
+        for e in &r.experiments {
+            println!("{}", e.render());
             if let Some(dir) = &out_dir {
                 let path = dir.join(format!("{}.dat", e.id));
                 std::fs::write(&path, e.data_file()).expect("write data file");
@@ -59,6 +187,11 @@ fn main() {
                 }
             }
         }
-        eprintln!("[{id} done in {:.1?}]", start.elapsed());
+        eprintln!("[{} done in {:.1}ms]", r.id, r.wall_ms);
+    }
+    eprintln!("[total {:.1}ms over {jobs} worker(s)]", total_wall_ms);
+    if let Some(path) = &json_path {
+        std::fs::write(path, bench_json(&runs, total_wall_ms, jobs)).expect("write bench json");
+        eprintln!("[wrote {}]", path.display());
     }
 }

@@ -29,7 +29,7 @@ fn verb_wr(kind: &VerbKind, src: MrId, dst: MrId, payload: u64, id: u64) -> Work
     WorkRequest {
         wr_id: WrId(id),
         kind: kind.clone(),
-        sgl: vec![Sge::new(src, 0, payload)],
+        sgl: Sge::new(src, 0, payload).into(),
         remote: Some((RKey(dst.0 as u64), 0)),
         signaled: true,
     }
@@ -46,9 +46,11 @@ fn verb_latency(kind: &VerbKind, payload: u64) -> SimTime {
 /// Windowed single-client throughput of one verb (MOPS).
 fn verb_mops(kind: &VerbKind, payload: u64, window: usize, ops: u64) -> f64 {
     let (mut tb, src, dst, conn) = pair(1 << 20, false);
-    let kind = kind.clone();
+    // One template WR for the whole loop; only the id changes per op.
+    let mut wr = verb_wr(kind, src, dst, payload, 0);
     let mut cl = ClosedLoop::new(window, ops, move |tb: &mut Testbed, now, i| {
-        tb.post_one(now, conn, verb_wr(&kind, src, dst, payload, i)).at
+        wr.wr_id = WrId(i);
+        tb.post_one_ref(now, conn, &wr).at
     });
     {
         let mut clients: Vec<Box<dyn Client + '_>> = vec![Box::new(&mut cl)];
@@ -306,19 +308,22 @@ fn pattern_mops(
     let dst = tb.register_unbacked(1, 1, region);
     let conn = tb.connect(Endpoint::affine(0, 1), Endpoint::affine(1, 1));
     let mut rng = SimRng::new(7);
-    let kind = kind.clone();
     let slots = (region / payload.max(1)).max(1);
+    // Template WR mutated in place: id and the two offsets change per op.
+    let mut wr = WorkRequest {
+        wr_id: WrId(0),
+        kind: kind.clone(),
+        sgl: Sge::new(src, 0, payload).into(),
+        remote: Some((RKey(dst.0 as u64), 0)),
+        signaled: true,
+    };
     let mut cl = ClosedLoop::new(8, ops, move |tb: &mut Testbed, now, i| {
         let l_off = if local_seq { (i % slots) * payload } else { rng.gen_range(slots) * payload };
         let r_off = if remote_seq { (i % slots) * payload } else { rng.gen_range(slots) * payload };
-        let wr = WorkRequest {
-            wr_id: WrId(i),
-            kind: kind.clone(),
-            sgl: vec![Sge::new(src, l_off, payload)],
-            remote: Some((RKey(dst.0 as u64), r_off)),
-            signaled: true,
-        };
-        tb.post_one(now, conn, wr).at
+        wr.wr_id = WrId(i);
+        wr.sgl = Sge::new(src, l_off, payload).into();
+        wr.remote = Some((RKey(dst.0 as u64), r_off));
+        tb.post_one_ref(now, conn, &wr).at
     });
     {
         let mut clients: Vec<Box<dyn Client + '_>> = vec![Box::new(&mut cl)];
@@ -649,19 +654,19 @@ pub fn extra_qp_scale() -> Vec<Experiment> {
                 );
                 let rkey = RKey(dst.0 as u64);
                 let off = (cl as u64 * 64) % (1 << 19);
-                loops.push(ClosedLoop::new(1, ops_per, move |tb: &mut Testbed, now, i| {
-                    let kind = match transport {
+                let mut wr = WorkRequest {
+                    wr_id: WrId(0),
+                    kind: match transport {
                         cluster::Transport::Ud => VerbKind::Send,
                         _ => VerbKind::Write,
-                    };
-                    let wr = WorkRequest {
-                        wr_id: WrId(i),
-                        kind,
-                        sgl: vec![Sge::new(src, 0, 32)],
-                        remote: Some((rkey, off)),
-                        signaled: true,
-                    };
-                    tb.post_one(now, conn, wr).at
+                    },
+                    sgl: Sge::new(src, 0, 32).into(),
+                    remote: Some((rkey, off)),
+                    signaled: true,
+                };
+                loops.push(ClosedLoop::new(1, ops_per, move |tb: &mut Testbed, now, i| {
+                    wr.wr_id = WrId(i);
+                    tb.post_one_ref(now, conn, &wr).at
                 }));
             }
             let mut actors: Vec<Box<dyn Client + '_>> =

@@ -49,17 +49,35 @@ pub fn run_clients(
         q.push(SimTime::ZERO, i);
     }
     let mut last = SimTime::ZERO;
-    while let Some((now, i)) = q.pop() {
+    'drain: while let Some((now, i)) = q.pop() {
         if now > deadline {
             break;
         }
         last = last.max(now);
-        match clients[i].step(now, tb) {
-            Step::Yield(t) => {
-                assert!(t >= now, "client {i} yielded into the past");
-                q.push(t, i);
+        let mut now = now;
+        loop {
+            match clients[i].step(now, tb) {
+                Step::Yield(t) => {
+                    assert!(t >= now, "client {i} yielded into the past");
+                    // Fast path: if no pending event fires strictly before
+                    // `t`, this client is next anyway — re-step it inline
+                    // instead of a pop/re-push round trip through the
+                    // queue. An *equal*-time pending event was enqueued
+                    // earlier and must fire first, so only a strictly
+                    // later (or absent) queue head lets us continue.
+                    if q.peek_time().is_none_or(|pt| pt > t) {
+                        if t > deadline {
+                            break 'drain;
+                        }
+                        last = last.max(t);
+                        now = t;
+                        continue;
+                    }
+                    q.push(t, i);
+                }
+                Step::Done => {}
             }
-            Step::Done => {}
+            break;
         }
     }
     last
@@ -188,6 +206,39 @@ mod tests {
         }
         // 12 ops in windows of 4: completes in 3us.
         assert_eq!(*cl.completions().last().unwrap(), SimTime::from_us(3));
+    }
+
+    #[test]
+    fn same_time_yields_interleave_in_client_order() {
+        // Two clients ticking the same period: at every timestamp, client
+        // 0 (inserted first) must step before client 1 — the fast path in
+        // run_clients must not let one client run ahead through a tie.
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        struct Tagged {
+            id: usize,
+            ticks: u32,
+            log: std::rc::Rc<std::cell::RefCell<Vec<(SimTime, usize)>>>,
+        }
+        impl Client for Tagged {
+            fn step(&mut self, now: SimTime, _tb: &mut Testbed) -> Step {
+                self.log.borrow_mut().push((now, self.id));
+                if self.ticks == 0 {
+                    return Step::Done;
+                }
+                self.ticks -= 1;
+                Step::Yield(now + SimTime::from_ns(50))
+            }
+        }
+        let mut tb = Testbed::new(ClusterConfig::two_machines());
+        let mut clients: Vec<Box<dyn Client>> = vec![
+            Box::new(Tagged { id: 0, ticks: 4, log: log.clone() }),
+            Box::new(Tagged { id: 1, ticks: 4, log: log.clone() }),
+        ];
+        run_clients(&mut tb, &mut clients, SimTime::MAX);
+        let log = log.borrow();
+        let expected: Vec<(SimTime, usize)> =
+            (0..=4).flat_map(|k| [(SimTime::from_ns(50 * k), 0), (SimTime::from_ns(50 * k), 1)]).collect();
+        assert_eq!(*log, expected);
     }
 
     #[test]

@@ -92,6 +92,20 @@ impl MemoryPool {
         }
     }
 
+    /// Append `len` bytes starting at `offset` to `out` (zeros if the
+    /// region is unbacked) without allocating — the verb hot path gathers
+    /// into a reused scratch buffer. Same bounds contract as [`read`].
+    ///
+    /// [`read`]: MemoryPool::read
+    pub fn read_into(&self, mr: MrId, offset: u64, len: u64, out: &mut Vec<u8>) {
+        let r = &self.regions[&mr];
+        assert!(offset + len <= r.len, "read out of bounds");
+        match &r.data {
+            Some(d) => out.extend_from_slice(&d[offset as usize..(offset + len) as usize]),
+            None => out.resize(out.len() + len as usize, 0),
+        }
+    }
+
     /// Write bytes (discarded if the region is unbacked).
     pub fn write(&mut self, mr: MrId, offset: u64, bytes: &[u8]) {
         let r = self.regions.get_mut(&mr).expect("unknown MR");
@@ -129,6 +143,19 @@ mod tests {
         m.write(mr, 10, b"hello");
         assert_eq!(m.read(mr, 10, 5), b"hello");
         assert_eq!(m.read(mr, 0, 4), vec![0; 4]);
+    }
+
+    #[test]
+    fn read_into_appends_without_clearing() {
+        let mut m = MemoryPool::new();
+        let mr = m.register(0, 128);
+        m.write(mr, 0, b"abc");
+        let mut out = b"x".to_vec();
+        m.read_into(mr, 0, 3, &mut out);
+        assert_eq!(out, b"xabc");
+        let unbacked = m.register_unbacked(0, 64);
+        m.read_into(unbacked, 0, 2, &mut out);
+        assert_eq!(out, b"xabc\0\0");
     }
 
     #[test]

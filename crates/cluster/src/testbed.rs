@@ -87,6 +87,11 @@ pub struct Testbed {
     pub cfg: ClusterConfig,
     machines: Vec<Machine>,
     conns: Vec<Connection>,
+    /// Reused CQE buffer backing `post_one`/`post_one_ref` — one
+    /// allocation for the testbed's lifetime, not one per verb.
+    cqe_scratch: Vec<Completion>,
+    /// Reused gather/scatter staging buffer for data effects.
+    data_scratch: Vec<u8>,
 }
 
 impl Testbed {
@@ -100,7 +105,13 @@ impl Testbed {
                 ud_qp: vec![None; cfg.rnic.ports],
             })
             .collect();
-        Testbed { cfg, machines, conns: Vec::new() }
+        Testbed {
+            cfg,
+            machines,
+            conns: Vec::new(),
+            cqe_scratch: Vec::new(),
+            data_scratch: Vec::new(),
+        }
     }
 
     /// Immutable access to a machine.
@@ -206,22 +217,30 @@ impl Testbed {
         self.conns[conn.0 as usize].server
     }
 
-    fn pair_mut(&mut self, a: usize, b: usize) -> (&mut Machine, &mut Machine) {
-        assert_ne!(a, b);
-        if a < b {
-            let (lo, hi) = self.machines.split_at_mut(b);
-            (&mut lo[a], &mut hi[0])
-        } else {
-            let (lo, hi) = self.machines.split_at_mut(a);
-            (&mut hi[0], &mut lo[b])
-        }
-    }
-
     /// Post a doorbell batch of work requests on `conn` at time `now`
     /// (client → server direction). Returns a completion per *signaled*
     /// WR, in posting order. Data effects are applied to simulated memory.
+    ///
+    /// Hot paths should prefer [`Testbed::post_into`] (reused output
+    /// buffer) or [`Testbed::post_one_ref`] (no output buffer at all).
     pub fn post(&mut self, now: SimTime, conn: ConnId, wrs: &[WorkRequest]) -> Vec<Completion> {
+        let mut completions = Vec::new();
+        self.post_into(now, conn, wrs, &mut completions);
+        completions
+    }
+
+    /// Like [`Testbed::post`], but appends completions to a caller-owned
+    /// buffer — the post→complete path performs no heap allocation for
+    /// SGLs of ≤ [`rnicsim::INLINE_SGES`] entries.
+    pub fn post_into(
+        &mut self,
+        now: SimTime,
+        conn: ConnId,
+        wrs: &[WorkRequest],
+        completions: &mut Vec<Completion>,
+    ) {
         assert!(!wrs.is_empty(), "empty doorbell batch");
+        simcore::opcount::add(wrs.len() as u64);
         let c = &self.conns[conn.0 as usize];
         let (client, server) = (c.client, c.server);
         let (client_qpn, server_qpn) = (c.client_qpn, c.server_qpn);
@@ -234,11 +253,12 @@ impl Testbed {
                 (t, k) => panic!("verb {k:?} is not supported on {t:?} (§II-A)"),
             }
         }
-        let cfg = self.cfg.clone();
+        let mut data = std::mem::take(&mut self.data_scratch);
+        let cfg = &self.cfg;
         let client_port_socket = cfg.port_socket(client.port);
         let server_port_socket = cfg.port_socket(server.port);
 
-        let (cm, sm) = self.pair_mut(client.machine, server.machine);
+        let (cm, sm) = pair_of(&mut self.machines, client.machine, server.machine);
 
         // One doorbell MMIO for the whole batch; crossing QPI to reach the
         // NIC costs extra.
@@ -247,7 +267,6 @@ impl Testbed {
             t_door += cfg.numa.mmio_cross;
         }
 
-        let mut completions = Vec::new();
         for (i, wr) in wrs.iter().enumerate() {
             assert!(wr.sgl.len() <= cfg.rnic.max_sge, "SGL exceeds max_sge");
             // Subsequent WQEs of a doorbell batch stream over PCIe. An
@@ -342,7 +361,8 @@ impl Testbed {
                     }
                     // Data effect (Send carries no remote address).
                     if let (VerbKind::Write, Some((rkey, off))) = (&wr.kind, wr.remote) {
-                        let data = gather_bytes(cm, wr);
+                        data.clear();
+                        gather_bytes_into(cm, wr, &mut data);
                         sm.mem.write(MrId(rkey.0 as u32), off, &data);
                     }
                     match transport {
@@ -381,7 +401,8 @@ impl Testbed {
                     }
                     // Data effect.
                     if let Some((rkey, off)) = wr.remote {
-                        let data = sm.mem.read(MrId(rkey.0 as u32), off, payload);
+                        data.clear();
+                        sm.mem.read_into(MrId(rkey.0 as u32), off, payload, &mut data);
                         scatter_bytes(cm, wr, &data);
                     }
                     (landed, 0)
@@ -431,14 +452,27 @@ impl Testbed {
                 });
             }
         }
-        completions
+        self.data_scratch = data;
     }
 
     /// Convenience: post one signaled WR and return its completion.
     pub fn post_one(&mut self, now: SimTime, conn: ConnId, wr: WorkRequest) -> Completion {
         let mut wr = wr;
         wr.signaled = true;
-        self.post(now, conn, std::slice::from_ref(&wr)).remove(0)
+        self.post_one_ref(now, conn, &wr)
+    }
+
+    /// Post one already-signaled WR by reference — lets hot loops reuse a
+    /// template request without moving or cloning it. The internal CQE
+    /// buffer is reused across calls, so nothing allocates.
+    pub fn post_one_ref(&mut self, now: SimTime, conn: ConnId, wr: &WorkRequest) -> Completion {
+        assert!(wr.signaled, "post_one_ref requires a signaled WR");
+        let mut cqes = std::mem::take(&mut self.cqe_scratch);
+        cqes.clear();
+        self.post_into(now, conn, std::slice::from_ref(wr), &mut cqes);
+        let cqe = cqes[0];
+        self.cqe_scratch = cqes;
+        cqe
     }
 
     /// A two-sided RPC round trip (channel semantics, Send/Recv): the
@@ -452,14 +486,15 @@ impl Testbed {
         resp_bytes: u64,
         handler_cost: SimTime,
     ) -> SimTime {
+        simcore::opcount::add(1);
         let c = &self.conns[conn.0 as usize];
         let (client, server) = (c.client, c.server);
         let grh = match c.transport {
             Transport::Ud => UD_GRH_BYTES,
             _ => 0,
         };
-        let cfg = self.cfg.clone();
-        let (cm, sm) = self.pair_mut(client.machine, server.machine);
+        let cfg = &self.cfg;
+        let (cm, sm) = pair_of(&mut self.machines, client.machine, server.machine);
 
         // Request: client → server (like a Send landing in a recv buffer).
         let t_door = cm.rnic.doorbell(now);
@@ -488,6 +523,19 @@ impl Testbed {
     }
 }
 
+/// Disjoint mutable borrows of two machines — a free function (rather
+/// than a method) so `post_into` can hold `&self.cfg` alongside it.
+fn pair_of(machines: &mut [Machine], a: usize, b: usize) -> (&mut Machine, &mut Machine) {
+    assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = machines.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = machines.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
 fn validate(cm: &Machine, sm: &Machine, wr: &WorkRequest) -> Option<CqeStatus> {
     for sge in &wr.sgl {
         if !cm.mem.check(sge.mr, sge.offset, sge.len) {
@@ -513,12 +561,11 @@ fn validate(cm: &Machine, sm: &Machine, wr: &WorkRequest) -> Option<CqeStatus> {
     }
 }
 
-fn gather_bytes(m: &Machine, wr: &WorkRequest) -> Vec<u8> {
-    let mut out = Vec::with_capacity(wr.payload_bytes() as usize);
+fn gather_bytes_into(m: &Machine, wr: &WorkRequest, out: &mut Vec<u8>) {
+    out.reserve(wr.payload_bytes() as usize);
     for sge in &wr.sgl {
-        out.extend_from_slice(&m.mem.read(sge.mr, sge.offset, sge.len));
+        m.mem.read_into(sge.mr, sge.offset, sge.len, out);
     }
-    out
 }
 
 fn scatter_bytes(m: &mut Machine, wr: &WorkRequest, data: &[u8]) {
@@ -582,7 +629,7 @@ mod tests {
         let wr = WorkRequest {
             wr_id: WrId(1),
             kind: VerbKind::Write,
-            sgl: vec![Sge::new(src, 0, 2), Sge::new(src, 512, 2), Sge::new(src, 1024, 2)],
+            sgl: [Sge::new(src, 0, 2), Sge::new(src, 512, 2), Sge::new(src, 1024, 2)].into(),
             remote: Some((rkey(dst), 0)),
             signaled: true,
         };
@@ -598,7 +645,7 @@ mod tests {
         let mk = |wr_id, expected, desired| WorkRequest {
             wr_id: WrId(wr_id),
             kind: VerbKind::CompareSwap { expected, desired },
-            sgl: vec![Sge::new(src, 0, 8)],
+            sgl: Sge::new(src, 0, 8).into(),
             remote: Some((rkey(dst), 0)),
             signaled: true,
         };
@@ -620,7 +667,7 @@ mod tests {
             let wr = WorkRequest {
                 wr_id: WrId(i),
                 kind: VerbKind::FetchAdd { delta: 3 },
-                sgl: vec![Sge::new(src, 0, 8)],
+                sgl: Sge::new(src, 0, 8).into(),
                 remote: Some((rkey(dst), 64)),
                 signaled: true,
             };
@@ -660,7 +707,7 @@ mod tests {
         let wr = WorkRequest {
             wr_id: WrId(1),
             kind: VerbKind::FetchAdd { delta: 1 },
-            sgl: vec![Sge::new(src, 0, 8)],
+            sgl: Sge::new(src, 0, 8).into(),
             remote: Some((rkey(big), 0)),
             signaled: true,
         };

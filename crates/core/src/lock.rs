@@ -96,7 +96,7 @@ impl RemoteSpinlock {
             let wr = WorkRequest {
                 wr_id: WrId(attempts as u64),
                 kind: VerbKind::CompareSwap { expected: 0, desired: 1 },
-                sgl: vec![scratch],
+                sgl: scratch.into(),
                 remote: Some((self.rkey, self.offset)),
                 signaled: true,
             };
@@ -126,7 +126,7 @@ impl RemoteSpinlock {
         let wr = WorkRequest {
             wr_id: WrId(u64::MAX),
             kind: VerbKind::Write,
-            sgl: vec![zero_scratch],
+            sgl: zero_scratch.into(),
             remote: Some((self.rkey, self.offset)),
             signaled: true,
         };
@@ -250,7 +250,7 @@ mod tests {
         let wr = WorkRequest {
             wr_id: WrId(0),
             kind: VerbKind::CompareSwap { expected: 0, desired: 1 },
-            sgl: vec![Sge::new(scratch, 0, 8)],
+            sgl: Sge::new(scratch, 0, 8).into(),
             remote: Some((RKey(lock_mr.0 as u64), 0)),
             signaled: true,
         };

@@ -103,7 +103,7 @@ impl RingProducer {
         let faa = WorkRequest {
             wr_id: WrId(0),
             kind: VerbKind::FetchAdd { delta: 1 },
-            sgl: vec![Sge::new(staging, staging_off, 8)],
+            sgl: Sge::new(staging, staging_off, 8).into(),
             remote: Some((self.ring.rkey, self.ring.base)),
             signaled: true,
         };

@@ -48,7 +48,7 @@ impl RemoteSequencer {
         let wr = WorkRequest {
             wr_id: WrId(0),
             kind: VerbKind::FetchAdd { delta: n },
-            sgl: vec![scratch],
+            sgl: scratch.into(),
             remote: Some((self.rkey, self.offset)),
             signaled: true,
         };

@@ -137,7 +137,7 @@ pub fn batched_write(
                 .map(|(i, (sge, &(rkey, off)))| WorkRequest {
                     wr_id: WrId(i as u64),
                     kind: VerbKind::Write,
-                    sgl: vec![*sge],
+                    sgl: (*sge).into(),
                     remote: Some((rkey, off)),
                     signaled: i == bufs.len() - 1,
                 })
@@ -158,7 +158,7 @@ pub fn batched_write(
             let wr = WorkRequest {
                 wr_id: WrId(0),
                 kind: VerbKind::Write,
-                sgl: bufs.to_vec(),
+                sgl: bufs.into(),
                 remote: Some((rkey, offset)),
                 signaled: true,
             };

@@ -1,7 +1,7 @@
-//! Property tests for the optimization library.
+//! Property-style tests for the optimization library, driven by the
+//! deterministic [`SimRng`] (fixed seeds; no external framework needed).
 
 use cluster::{ClusterConfig, ConnId, Endpoint, Testbed};
-use proptest::prelude::*;
 use remem::{
     batched_write, Backoff, ConsolidationBuffer, NumaMode, RemoteDst, RemoteSequencer, SocketMesh,
     Strategy, VersionedEntry,
@@ -18,12 +18,13 @@ fn setup() -> (Testbed, MrId, MrId, MrId, ConnId) {
     (tb, src, staging, dst, conn)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Every strategy moves identical bytes for arbitrary batch shapes.
-    #[test]
-    fn strategies_agree_on_data(lens in proptest::collection::vec(1u64..128, 1..12), seed in any::<u64>()) {
+/// Every strategy moves identical bytes for arbitrary batch shapes.
+#[test]
+fn strategies_agree_on_data() {
+    let mut meta = SimRng::new(0x2101);
+    for _ in 0..16 {
+        let lens: Vec<u64> = (0..1 + meta.gen_range(11)).map(|_| 1 + meta.gen_range(127)).collect();
+        let seed = meta.next_u64();
         let mut images = Vec::new();
         for strategy in Strategy::ALL {
             let (mut tb, src, staging, dst, conn) = setup();
@@ -37,22 +38,37 @@ proptest! {
             }
             let total: u64 = lens.iter().sum();
             batched_write(
-                &mut tb, SimTime::ZERO, conn, strategy, &bufs, Some(staging),
+                &mut tb,
+                SimTime::ZERO,
+                conn,
+                strategy,
+                &bufs,
+                Some(staging),
                 &RemoteDst::Contiguous(RKey(dst.0 as u64), 1000),
             );
             images.push(tb.machine(1).mem.read(dst, 1000, total));
         }
-        prop_assert_eq!(&images[0], &images[1]);
-        prop_assert_eq!(&images[1], &images[2]);
+        assert_eq!(&images[0], &images[1]);
+        assert_eq!(&images[1], &images[2]);
     }
+}
 
-    /// Consolidation: exactly one threshold flush per θ same-block writes,
-    /// and the remote block equals the shadow after any flush.
-    #[test]
-    fn consolidation_counts_flushes(theta in 1usize..12, writes in 1usize..60) {
+/// Consolidation: exactly one threshold flush per θ same-block writes, and
+/// the remote block equals the shadow after any flush.
+#[test]
+fn consolidation_counts_flushes() {
+    let mut rng = SimRng::new(0x2102);
+    for _ in 0..32 {
+        let theta = 1 + rng.gen_range(11) as usize;
+        let writes = 1 + rng.gen_range(59) as usize;
         let (mut tb, _src, shadow, dst, conn) = setup();
         let mut buf = ConsolidationBuffer::new(
-            conn, shadow, RKey(dst.0 as u64), 1024, theta, SimTime::from_ms(100),
+            conn,
+            shadow,
+            RKey(dst.0 as u64),
+            1024,
+            theta,
+            SimTime::from_ms(100),
         );
         let mut t = SimTime::ZERO;
         for i in 0..writes {
@@ -63,32 +79,42 @@ proptest! {
             }
         }
         let stats = buf.stats();
-        prop_assert_eq!(stats.absorbed, writes as u64);
-        prop_assert_eq!(stats.threshold_flushes, (writes / theta) as u64);
-        prop_assert_eq!(buf.dirty_blocks(), usize::from(writes % theta != 0));
+        assert_eq!(stats.absorbed, writes as u64);
+        assert_eq!(stats.threshold_flushes, (writes / theta) as u64);
+        assert_eq!(buf.dirty_blocks(), usize::from(writes % theta != 0));
     }
+}
 
-    /// Sequencer tickets partition the number line: next_n ranges are
-    /// disjoint, contiguous, and ordered.
-    #[test]
-    fn sequencer_ranges_tile(sizes in proptest::collection::vec(1u64..5000, 1..40)) {
+/// Sequencer tickets partition the number line: next_n ranges are
+/// disjoint, contiguous, and ordered.
+#[test]
+fn sequencer_ranges_tile() {
+    let mut rng = SimRng::new(0x2103);
+    for _ in 0..24 {
+        let sizes: Vec<u64> = (0..1 + rng.gen_range(39)).map(|_| 1 + rng.gen_range(4999)).collect();
         let (mut tb, src, _staging, dst, conn) = setup();
         let seq = RemoteSequencer { rkey: RKey(dst.0 as u64), offset: 0 };
         let mut t = SimTime::ZERO;
         let mut expect = 0u64;
         for &n in &sizes {
             let ticket = seq.next_n(&mut tb, conn, t, Sge::new(src, 0, 8), n);
-            prop_assert_eq!(ticket.value, expect);
+            assert_eq!(ticket.value, expect);
             expect += n;
             t = ticket.at;
         }
-        prop_assert_eq!(tb.machine(1).mem.load_u64(MrId(0), 0), expect);
+        assert_eq!(tb.machine(1).mem.load_u64(MrId(0), 0), expect);
     }
+}
 
-    /// Versioned entries: after any write sequence, a read returns the
-    /// last written value with the highest version.
-    #[test]
-    fn versioned_read_your_writes(values in proptest::collection::vec(any::<[u8; 8]>(), 1..12), slots in 2u64..6) {
+/// Versioned entries: after any write sequence, a read returns the last
+/// written value with the highest version.
+#[test]
+fn versioned_read_your_writes() {
+    let mut rng = SimRng::new(0x2104);
+    for _ in 0..24 {
+        let values: Vec<[u8; 8]> =
+            (0..1 + rng.gen_range(11)).map(|_| rng.next_u64().to_le_bytes()).collect();
+        let slots = 2 + rng.gen_range(4);
         let (mut tb, _src, staging, dst, conn) = setup();
         let entry = VersionedEntry { rkey: RKey(dst.0 as u64), base: 4096, slots, value_len: 8 };
         let mut t = SimTime::ZERO;
@@ -97,43 +123,52 @@ proptest! {
             t = w.at;
         }
         let r = entry.read(&mut tb, conn, t, staging, 0).expect("committed");
-        prop_assert_eq!(r.version, values.len() as u64);
-        prop_assert_eq!(&r.value, values.last().unwrap());
+        assert_eq!(r.version, values.len() as u64);
+        assert_eq!(&r.value, values.last().unwrap());
     }
+}
 
-    /// Backoff delays are bounded by max + jitter and non-decreasing in
-    /// attempt (up to the cap).
-    #[test]
-    fn backoff_bounded(base_ns in 1u64..10_000, cap_us in 1u64..100, attempt in 0u32..40, seed in any::<u64>()) {
+/// Backoff delays are bounded by max + jitter and non-decreasing in
+/// attempt (up to the cap).
+#[test]
+fn backoff_bounded() {
+    let mut meta = SimRng::new(0x2105);
+    for _ in 0..64 {
+        let base_ns = 1 + meta.gen_range(9_999);
+        let cap_us = 1 + meta.gen_range(99);
+        let attempt = meta.gen_range(40) as u32;
         let b = Backoff { base: SimTime::from_ns(base_ns), max: SimTime::from_us(cap_us) };
-        let mut rng = SimRng::new(seed);
+        let mut rng = SimRng::new(meta.next_u64());
         let d = b.delay(attempt, &mut rng);
         let cap = SimTime::from_us(cap_us);
-        prop_assert!(d <= cap + cap / 4, "delay {} over cap {}", d, cap);
-        prop_assert!(d >= b.base.min(cap));
+        assert!(d <= cap + cap / 4, "delay {} over cap {}", d, cap);
+        assert!(d >= b.base.min(cap));
     }
+}
 
-    /// The proxy mesh routes every (socket, machine, socket) triple to a
-    /// connection whose server is on the requested machine, and matched
-    /// requests never pay hand-off costs.
-    #[test]
-    fn mesh_routing_total(machines in 2usize..6, mode_idx in 0usize..3) {
-        let mode = [NumaMode::DirectCross, NumaMode::Proxy, NumaMode::AllToAll][mode_idx];
-        let mut tb = Testbed::new(ClusterConfig { machines, ..Default::default() });
-        let mesh = SocketMesh::build(&mut tb, 0, mode);
-        for rm in 1..machines {
-            for fs in 0..2 {
-                for rs in 0..2 {
-                    let route = mesh.route(fs, rm, rs);
-                    let server = tb.server_of(route.conn);
-                    prop_assert_eq!(server.machine, rm);
-                    if fs == rs {
-                        prop_assert_eq!(route.pre, SimTime::ZERO);
-                        prop_assert_eq!(route.post, SimTime::ZERO);
-                    }
-                    if mode == NumaMode::AllToAll || mode == NumaMode::Proxy {
-                        // Affine modes always land on the requested socket.
-                        prop_assert_eq!(server.port % 2, rs);
+/// The proxy mesh routes every (socket, machine, socket) triple to a
+/// connection whose server is on the requested machine, and matched
+/// requests never pay hand-off costs.
+#[test]
+fn mesh_routing_total() {
+    for machines in 2..6 {
+        for mode in [NumaMode::DirectCross, NumaMode::Proxy, NumaMode::AllToAll] {
+            let mut tb = Testbed::new(ClusterConfig { machines, ..Default::default() });
+            let mesh = SocketMesh::build(&mut tb, 0, mode);
+            for rm in 1..machines {
+                for fs in 0..2 {
+                    for rs in 0..2 {
+                        let route = mesh.route(fs, rm, rs);
+                        let server = tb.server_of(route.conn);
+                        assert_eq!(server.machine, rm);
+                        if fs == rs {
+                            assert_eq!(route.pre, SimTime::ZERO);
+                            assert_eq!(route.post, SimTime::ZERO);
+                        }
+                        if mode == NumaMode::AllToAll || mode == NumaMode::Proxy {
+                            // Affine modes always land on the requested socket.
+                            assert_eq!(server.port % 2, rs);
+                        }
                     }
                 }
             }

@@ -1,78 +1,121 @@
-//! Property tests for the host memory model.
+//! Property-style tests for the host memory model, driven by the
+//! deterministic [`SimRng`] (fixed seeds; no external framework needed).
 
 use memmodel::{
     access_cost, faa_op_cost_ns, local_sequencer_mops, local_spinlock_mops, throughput_mops,
     vectored_call_cost, vectored_mops, HostMemConfig, MemOp, Pattern,
 };
-use proptest::prelude::*;
+use simcore::SimRng;
 
-fn ops() -> impl Strategy<Value = MemOp> {
-    prop_oneof![Just(MemOp::Read), Just(MemOp::Write)]
-}
+const CASES: u64 = 64;
 
-fn patterns() -> impl Strategy<Value = Pattern> {
-    prop_oneof![Just(Pattern::Seq), Just(Pattern::Rand)]
-}
-
-proptest! {
-    /// Access cost is monotone in payload for every access kind.
-    #[test]
-    fn cost_monotone_in_payload(op in ops(), pat in patterns(), cross in any::<bool>(), a in 1usize..1 << 16, b in 1usize..1 << 16) {
-        let cfg = HostMemConfig::default();
-        let (lo, hi) = (a.min(b), a.max(b));
-        prop_assert!(access_cost(&cfg, op, pat, lo, cross) <= access_cost(&cfg, op, pat, hi, cross));
+fn op_of(rng: &mut SimRng) -> MemOp {
+    if rng.gen_bool(0.5) {
+        MemOp::Read
+    } else {
+        MemOp::Write
     }
+}
 
-    /// Crossing QPI never makes an access cheaper.
-    #[test]
-    fn cross_socket_never_cheaper(op in ops(), pat in patterns(), payload in 1usize..1 << 16) {
-        let cfg = HostMemConfig::default();
-        prop_assert!(
+fn pattern_of(rng: &mut SimRng) -> Pattern {
+    if rng.gen_bool(0.5) {
+        Pattern::Seq
+    } else {
+        Pattern::Rand
+    }
+}
+
+/// Access cost is monotone in payload for every access kind.
+#[test]
+fn cost_monotone_in_payload() {
+    let cfg = HostMemConfig::default();
+    let mut rng = SimRng::new(0x3101);
+    for _ in 0..CASES {
+        let (op, pat, cross) = (op_of(&mut rng), pattern_of(&mut rng), rng.gen_bool(0.5));
+        let a = 1 + rng.gen_range((1 << 16) - 1) as usize;
+        let b = 1 + rng.gen_range((1 << 16) - 1) as usize;
+        let (lo, hi) = (a.min(b), a.max(b));
+        assert!(access_cost(&cfg, op, pat, lo, cross) <= access_cost(&cfg, op, pat, hi, cross));
+    }
+}
+
+/// Crossing QPI never makes an access cheaper.
+#[test]
+fn cross_socket_never_cheaper() {
+    let cfg = HostMemConfig::default();
+    let mut rng = SimRng::new(0x3102);
+    for _ in 0..CASES {
+        let (op, pat) = (op_of(&mut rng), pattern_of(&mut rng));
+        let payload = 1 + rng.gen_range((1 << 16) - 1) as usize;
+        assert!(
             access_cost(&cfg, op, pat, payload, true) >= access_cost(&cfg, op, pat, payload, false)
         );
     }
+}
 
-    /// Sequential access never loses to random access of the same kind.
-    #[test]
-    fn seq_never_loses(op in ops(), cross in any::<bool>(), payload in 1usize..1 << 16) {
-        let cfg = HostMemConfig::default();
-        prop_assert!(
+/// Sequential access never loses to random access of the same kind.
+#[test]
+fn seq_never_loses() {
+    let cfg = HostMemConfig::default();
+    let mut rng = SimRng::new(0x3103);
+    for _ in 0..CASES {
+        let (op, cross) = (op_of(&mut rng), rng.gen_bool(0.5));
+        let payload = 1 + rng.gen_range((1 << 16) - 1) as usize;
+        assert!(
             access_cost(&cfg, op, Pattern::Seq, payload, cross)
                 <= access_cost(&cfg, op, Pattern::Rand, payload, cross)
         );
     }
+}
 
-    /// Throughput and cost are reciprocal.
-    #[test]
-    fn throughput_cost_reciprocal(op in ops(), pat in patterns(), payload in 1usize..8192) {
-        let cfg = HostMemConfig::default();
+/// Throughput and cost are reciprocal.
+#[test]
+fn throughput_cost_reciprocal() {
+    let cfg = HostMemConfig::default();
+    let mut rng = SimRng::new(0x3104);
+    for _ in 0..CASES {
+        let (op, pat) = (op_of(&mut rng), pattern_of(&mut rng));
+        let payload = 1 + rng.gen_range(8191) as usize;
         let cost = access_cost(&cfg, op, pat, payload, false);
         let tput = throughput_mops(&cfg, op, pat, payload, false);
-        prop_assert!((tput * cost.as_ns() - 1000.0).abs() < 1e-6);
+        assert!((tput * cost.as_ns() - 1000.0).abs() < 1e-6);
     }
+}
 
-    /// Vectored IO: per-buffer throughput is monotone non-decreasing in
-    /// batch size (the syscall amortizes), and total call cost is monotone
-    /// increasing in both batch and payload.
-    #[test]
-    fn vectored_monotonicity(op in ops(), b1 in 1usize..64, b2 in 1usize..64, payload in 1usize..4096) {
-        let cfg = HostMemConfig::default();
+/// Vectored IO: per-buffer throughput is monotone non-decreasing in batch
+/// size (the syscall amortizes), and total call cost is monotone
+/// increasing in both batch and payload.
+#[test]
+fn vectored_monotonicity() {
+    let cfg = HostMemConfig::default();
+    let mut rng = SimRng::new(0x3105);
+    for _ in 0..CASES {
+        let op = op_of(&mut rng);
+        let b1 = 1 + rng.gen_range(63) as usize;
+        let b2 = 1 + rng.gen_range(63) as usize;
+        let payload = 1 + rng.gen_range(4095) as usize;
         let (lo, hi) = (b1.min(b2), b1.max(b2));
-        prop_assert!(vectored_mops(&cfg, op, lo, payload) <= vectored_mops(&cfg, op, hi, payload) + 1e-9);
-        prop_assert!(vectored_call_cost(&cfg, op, lo, payload) <= vectored_call_cost(&cfg, op, hi, payload));
+        assert!(vectored_mops(&cfg, op, lo, payload) <= vectored_mops(&cfg, op, hi, payload) + 1e-9);
+        assert!(vectored_call_cost(&cfg, op, lo, payload) <= vectored_call_cost(&cfg, op, hi, payload));
     }
+}
 
-    /// Atomic contention models: costs grow with thread count; backoff is
-    /// never worse than plain.
-    #[test]
-    fn atomics_monotone(n1 in 1usize..16, n2 in 1usize..16) {
-        let cfg = HostMemConfig::default();
+/// Atomic contention models: costs grow with thread count; backoff is
+/// never worse than plain.
+#[test]
+fn atomics_monotone() {
+    let cfg = HostMemConfig::default();
+    let mut rng = SimRng::new(0x3106);
+    for _ in 0..CASES {
+        let n1 = 1 + rng.gen_range(15) as usize;
+        let n2 = 1 + rng.gen_range(15) as usize;
         let (lo, hi) = (n1.min(n2), n1.max(n2));
-        prop_assert!(faa_op_cost_ns(&cfg, lo) <= faa_op_cost_ns(&cfg, hi) + 1e-9);
-        prop_assert!(local_sequencer_mops(&cfg, hi) <= local_sequencer_mops(&cfg, lo) + 1e-9);
-        prop_assert!(local_spinlock_mops(&cfg, hi, false) <= local_spinlock_mops(&cfg, lo, false) + 1e-9);
-        prop_assert!(
-            local_spinlock_mops(&cfg, n1.max(1), true) + 1e-9 >= local_spinlock_mops(&cfg, n1.max(1), false)
+        assert!(faa_op_cost_ns(&cfg, lo) <= faa_op_cost_ns(&cfg, hi) + 1e-9);
+        assert!(local_sequencer_mops(&cfg, hi) <= local_sequencer_mops(&cfg, lo) + 1e-9);
+        assert!(local_spinlock_mops(&cfg, hi, false) <= local_spinlock_mops(&cfg, lo, false) + 1e-9);
+        assert!(
+            local_spinlock_mops(&cfg, n1.max(1), true) + 1e-9
+                >= local_spinlock_mops(&cfg, n1.max(1), false)
         );
     }
 }
@@ -85,8 +128,5 @@ fn table2_probe_is_consistent_with_hierarchy() {
     let (local, remote) = memmodel::table2(&cfg);
     assert!(remote.latency > local.latency);
     assert!(remote.bandwidth_gbs < local.bandwidth_gbs);
-    assert_eq!(
-        (remote.latency - local.latency),
-        memmodel::qpi_hop_latency(&cfg)
-    );
+    assert_eq!((remote.latency - local.latency), memmodel::qpi_hop_latency(&cfg));
 }

@@ -27,4 +27,4 @@ pub mod types;
 pub use config::RnicConfig;
 pub use device::{Port, Rnic};
 pub use mtt::MttCache;
-pub use types::{Completion, CqeStatus, MrId, QpNum, RKey, Sge, VerbKind, WorkRequest, WrId};
+pub use types::{Completion, CqeStatus, InlineSgl, MrId, QpNum, RKey, Sge, VerbKind, WorkRequest, WrId, INLINE_SGES};

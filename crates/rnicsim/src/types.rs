@@ -11,7 +11,7 @@ use simcore::SimTime;
 pub struct QpNum(pub u32);
 
 /// Memory region id, unique per machine.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MrId(pub u32);
 
 /// Remote protection key handed out at registration; needed by one-sided
@@ -24,7 +24,7 @@ pub struct RKey(pub u64);
 pub struct WrId(pub u64);
 
 /// One scatter/gather element: a span inside a registered region.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Sge {
     /// Source (or destination) memory region.
     pub mr: MrId,
@@ -38,6 +38,130 @@ impl Sge {
     /// Convenience constructor.
     pub fn new(mr: MrId, offset: u64, len: u64) -> Self {
         Sge { mr, offset, len }
+    }
+}
+
+/// SGEs a work request carries without heap allocation. Real WQEs embed
+/// a handful of SGEs inline for the same reason; longer lists spill.
+pub const INLINE_SGES: usize = 4;
+
+/// A scatter/gather list that stores up to [`INLINE_SGES`] entries
+/// inline. The post→complete path never heap-allocates for the short
+/// SGLs that dominate every benchmark; longer lists fall back to a `Vec`
+/// transparently.
+#[derive(Clone, Debug, Default)]
+pub struct InlineSgl {
+    inline: [Sge; INLINE_SGES],
+    len: u8,
+    /// Non-empty iff the list spilled; then it holds *all* entries and
+    /// the inline array is ignored.
+    spill: Vec<Sge>,
+}
+
+impl InlineSgl {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an entry, spilling to the heap past [`INLINE_SGES`].
+    pub fn push(&mut self, sge: Sge) {
+        if !self.spill.is_empty() {
+            self.spill.push(sge);
+        } else if (self.len as usize) < INLINE_SGES {
+            self.inline[self.len as usize] = sge;
+            self.len += 1;
+        } else {
+            self.spill.reserve(INLINE_SGES + 1);
+            self.spill.extend_from_slice(&self.inline[..self.len as usize]);
+            self.spill.push(sge);
+        }
+    }
+
+    /// The entries as a slice (also available through `Deref`).
+    pub fn as_slice(&self) -> &[Sge] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Whether the list overflowed onto the heap. Short lists (≤
+    /// [`INLINE_SGES`] entries) never do — the zero-allocation invariant
+    /// the bench hot paths rely on.
+    pub fn spilled(&self) -> bool {
+        !self.spill.is_empty()
+    }
+}
+
+impl std::ops::Deref for InlineSgl {
+    type Target = [Sge];
+    fn deref(&self) -> &[Sge] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a InlineSgl {
+    type Item = &'a Sge;
+    type IntoIter = std::slice::Iter<'a, Sge>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl PartialEq for InlineSgl {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for InlineSgl {}
+
+impl From<Sge> for InlineSgl {
+    fn from(sge: Sge) -> Self {
+        let mut s = InlineSgl::new();
+        s.push(sge);
+        s
+    }
+}
+
+impl From<&[Sge]> for InlineSgl {
+    fn from(sges: &[Sge]) -> Self {
+        if sges.len() > INLINE_SGES {
+            return InlineSgl { inline: Default::default(), len: 0, spill: sges.to_vec() };
+        }
+        let mut s = InlineSgl::new();
+        for &sge in sges {
+            s.push(sge);
+        }
+        s
+    }
+}
+
+impl<const N: usize> From<[Sge; N]> for InlineSgl {
+    fn from(sges: [Sge; N]) -> Self {
+        InlineSgl::from(&sges[..])
+    }
+}
+
+impl From<Vec<Sge>> for InlineSgl {
+    fn from(sges: Vec<Sge>) -> Self {
+        if sges.len() > INLINE_SGES {
+            // Keep the existing allocation as the spill storage.
+            InlineSgl { inline: Default::default(), len: 0, spill: sges }
+        } else {
+            InlineSgl::from(&sges[..])
+        }
+    }
+}
+
+impl FromIterator<Sge> for InlineSgl {
+    fn from_iter<I: IntoIterator<Item = Sge>>(iter: I) -> Self {
+        let mut s = InlineSgl::new();
+        for sge in iter {
+            s.push(sge);
+        }
+        s
     }
 }
 
@@ -84,8 +208,9 @@ pub struct WorkRequest {
     /// Operation.
     pub kind: VerbKind,
     /// Local scatter/gather list (source for Write/Send, destination for
-    /// Read, result buffer for atomics).
-    pub sgl: Vec<Sge>,
+    /// Read, result buffer for atomics). Up to [`INLINE_SGES`] entries
+    /// live inline in the request — no heap allocation.
+    pub sgl: InlineSgl,
     /// Remote target: region and offset (ignored for Send).
     pub remote: Option<(RKey, u64)>,
     /// Whether a CQE should be generated (selective signaling).
@@ -107,7 +232,7 @@ impl WorkRequest {
         WorkRequest {
             wr_id: WrId(wr_id),
             kind: VerbKind::Write,
-            sgl: vec![local],
+            sgl: local.into(),
             remote: Some((rkey, remote_offset)),
             signaled: true,
         }
@@ -118,7 +243,7 @@ impl WorkRequest {
         WorkRequest {
             wr_id: WrId(wr_id),
             kind: VerbKind::Read,
-            sgl: vec![local],
+            sgl: local.into(),
             remote: Some((rkey, remote_offset)),
             signaled: true,
         }
@@ -159,7 +284,7 @@ mod tests {
         let wr = WorkRequest {
             wr_id: WrId(1),
             kind: VerbKind::Write,
-            sgl: vec![Sge::new(MrId(0), 0, 32), Sge::new(MrId(0), 100, 32)],
+            sgl: [Sge::new(MrId(0), 0, 32), Sge::new(MrId(0), 100, 32)].into(),
             remote: Some((RKey(9), 0)),
             signaled: true,
         };
@@ -171,7 +296,7 @@ mod tests {
         let wr = WorkRequest {
             wr_id: WrId(1),
             kind: VerbKind::FetchAdd { delta: 1 },
-            sgl: vec![Sge::new(MrId(0), 0, 8)],
+            sgl: Sge::new(MrId(0), 0, 8).into(),
             remote: Some((RKey(9), 0)),
             signaled: true,
         };
@@ -195,5 +320,42 @@ mod tests {
         assert_eq!(w.remote, Some((RKey(3), 128)));
         let r = WorkRequest::read(8, Sge::new(MrId(1), 0, 64), RKey(3), 0);
         assert_eq!(r.kind, VerbKind::Read);
+    }
+
+    #[test]
+    fn inline_sgl_stays_on_stack_up_to_four_entries() {
+        let mut sgl = InlineSgl::new();
+        for i in 0..INLINE_SGES {
+            sgl.push(Sge::new(MrId(0), i as u64 * 8, 8));
+            assert!(!sgl.spilled(), "{} entries must not heap-allocate", i + 1);
+        }
+        assert_eq!(sgl.len(), INLINE_SGES);
+        // The fifth entry spills — and keeps every entry, in order.
+        sgl.push(Sge::new(MrId(0), 999, 8));
+        assert!(sgl.spilled());
+        assert_eq!(sgl.len(), INLINE_SGES + 1);
+        let offsets: Vec<u64> = sgl.iter().map(|s| s.offset).collect();
+        assert_eq!(offsets, vec![0, 8, 16, 24, 999]);
+    }
+
+    #[test]
+    fn inline_sgl_conversions_agree() {
+        let a = Sge::new(MrId(1), 0, 16);
+        let b = Sge::new(MrId(1), 16, 16);
+        let from_one = InlineSgl::from(a);
+        assert_eq!(from_one.as_slice(), &[a]);
+        assert!(!from_one.spilled());
+        let from_arr = InlineSgl::from([a, b]);
+        let from_slice = InlineSgl::from(&[a, b][..]);
+        let from_vec = InlineSgl::from(vec![a, b]);
+        let from_iter: InlineSgl = [a, b].into_iter().collect();
+        assert_eq!(from_arr, from_slice);
+        assert_eq!(from_arr, from_vec);
+        assert_eq!(from_arr, from_iter);
+        assert!(!from_vec.spilled(), "short Vec converts back to inline storage");
+        let long: Vec<Sge> = (0..6).map(|i| Sge::new(MrId(2), i * 8, 8)).collect();
+        let spilled = InlineSgl::from(long.clone());
+        assert!(spilled.spilled());
+        assert_eq!(spilled.as_slice(), &long[..]);
     }
 }

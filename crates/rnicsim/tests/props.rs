@@ -1,44 +1,63 @@
-//! Property tests for the NIC device model.
+//! Property-style tests for the NIC device model, driven by the
+//! deterministic [`SimRng`] (fixed seeds; no external framework needed).
 
-use proptest::prelude::*;
 use rnicsim::{MrId, MttCache, Rnic, RnicConfig, VerbKind, WorkRequest, WrId};
-use simcore::SimTime;
+use simcore::{SimRng, SimTime};
 
-proptest! {
-    /// Wire framing: always at least payload + one header, segment count
-    /// grows with payload, and is exact for MTU multiples.
-    #[test]
-    fn wire_bytes_framing(payload in 0u64..1 << 20) {
-        let cfg = RnicConfig::default();
+const CASES: u64 = 64;
+
+/// Wire framing: always at least payload + one header, segment count grows
+/// with payload, and is exact for MTU multiples.
+#[test]
+fn wire_bytes_framing() {
+    let cfg = RnicConfig::default();
+    let mut rng = SimRng::new(0x4101);
+    for _ in 0..CASES {
+        let payload = rng.gen_range(1 << 20);
         let w = cfg.wire_bytes(payload);
-        prop_assert!(w >= payload + cfg.header_bytes);
+        assert!(w >= payload + cfg.header_bytes);
         let segments = payload.div_ceil(cfg.mtu_bytes).max(1);
-        prop_assert_eq!(w, payload + segments * cfg.header_bytes);
+        assert_eq!(w, payload + segments * cfg.header_bytes);
     }
+}
 
-    /// MTT: the number of misses for a span never exceeds the page count,
-    /// and an immediate re-access of the same span has zero misses.
-    #[test]
-    fn mtt_miss_bounds(offset in 0u64..1 << 30, len in 1u64..1 << 16) {
+/// MTT: the number of misses for a span never exceeds the page count, and
+/// an immediate re-access of the same span has zero misses.
+#[test]
+fn mtt_miss_bounds() {
+    let mut rng = SimRng::new(0x4102);
+    for _ in 0..CASES {
+        let offset = rng.gen_range(1 << 30);
+        let len = 1 + rng.gen_range((1 << 16) - 1);
         let mut m = MttCache::new(1024, 4096);
         let pages = (offset + len - 1) / 4096 - offset / 4096 + 1;
         let misses = m.access(MrId(1), offset, len);
-        prop_assert!(misses <= pages);
-        prop_assert_eq!(m.access(MrId(1), offset, len), 0);
+        assert!(misses <= pages);
+        assert_eq!(m.access(MrId(1), offset, len), 0);
     }
+}
 
-    /// warm() then access() never misses for spans within capacity.
-    #[test]
-    fn mtt_warm_covers(offset in 0u64..1 << 20, len in 1u64..1 << 18) {
+/// warm() then access() never misses for spans within capacity.
+#[test]
+fn mtt_warm_covers() {
+    let mut rng = SimRng::new(0x4103);
+    for _ in 0..CASES {
+        let offset = rng.gen_range(1 << 20);
+        let len = 1 + rng.gen_range((1 << 18) - 1);
         let mut m = MttCache::new(1024, 4096);
         m.warm(MrId(0), offset, len);
-        prop_assert_eq!(m.access(MrId(0), offset, len), 0);
+        assert_eq!(m.access(MrId(0), offset, len), 0);
     }
+}
 
-    /// Cut-through delivery: an uncontended packet arrives exactly
-    /// wire_fixed after its departure, regardless of size.
-    #[test]
-    fn uncontended_delivery_latency(payload in 0u64..1 << 16, depart_ns in 1u64..1 << 20) {
+/// Cut-through delivery: an uncontended packet arrives exactly wire_fixed
+/// after its departure, regardless of size.
+#[test]
+fn uncontended_delivery_latency() {
+    let mut rng = SimRng::new(0x4104);
+    for _ in 0..CASES {
+        let payload = rng.gen_range(1 << 16);
+        let depart_ns = 1 + rng.gen_range((1 << 20) - 1);
         let cfg = RnicConfig::default();
         let wire_fixed = cfg.wire_fixed;
         let mut nic = Rnic::new(cfg.clone());
@@ -50,13 +69,18 @@ proptest! {
         let ser = SimTime::from_ps(cfg.wire_bytes(payload) * cfg.link_ps_per_byte());
         let depart = SimTime::from_ns(depart_ns) + ser; // guarantee head >= wire start
         let arrival = nic.deliver(0, depart, payload);
-        prop_assert_eq!(arrival, depart + wire_fixed);
+        assert_eq!(arrival, depart + wire_fixed);
     }
+}
 
-    /// Consecutive deliveries to one port serialize: total spacing is at
-    /// least the serialization of all packets after the first head.
-    #[test]
-    fn incast_serializes(payloads in proptest::collection::vec(1u64..8192, 2..20)) {
+/// Consecutive deliveries to one port serialize: total spacing is at least
+/// the serialization of all packets after the first head.
+#[test]
+fn incast_serializes() {
+    let mut rng = SimRng::new(0x4105);
+    for _ in 0..CASES {
+        let payloads: Vec<u64> =
+            (0..2 + rng.gen_range(18)).map(|_| 1 + rng.gen_range(8191)).collect();
         let cfg = RnicConfig::default();
         let mut nic = Rnic::new(cfg.clone());
         let mut last = SimTime::ZERO;
@@ -67,41 +91,61 @@ proptest! {
             // (pure incast) — generous depart time so heads are valid.
             let arr = nic.deliver(0, SimTime::from_us(100), p);
             if i > 0 {
-                prop_assert!(arr > last, "arrivals must be distinct under incast");
+                assert!(arr > last, "arrivals must be distinct under incast");
             }
             last = arr;
             total_ser += ser;
         }
         let first_possible = SimTime::from_us(100) + cfg.wire_fixed;
-        prop_assert!(last.as_ps() >= first_possible.as_ps() + total_ser - cfg.wire_bytes(payloads[0]) * cfg.link_ps_per_byte());
+        assert!(
+            last.as_ps()
+                >= first_possible.as_ps() + total_ser
+                    - cfg.wire_bytes(payloads[0]) * cfg.link_ps_per_byte()
+        );
     }
+}
 
-    /// QP numbers are unique and keep their port bindings.
-    #[test]
-    fn qp_identity(ports in proptest::collection::vec(0usize..2, 1..50)) {
+/// QP numbers are unique and keep their port bindings.
+#[test]
+fn qp_identity() {
+    let mut rng = SimRng::new(0x4106);
+    for _ in 0..CASES {
+        let ports: Vec<usize> = (0..1 + rng.gen_range(49)).map(|_| rng.gen_range(2) as usize).collect();
         let mut nic = Rnic::new(RnicConfig::default());
         let mut seen = std::collections::HashSet::new();
         for &p in &ports {
             let q = nic.create_qp(p);
-            prop_assert!(seen.insert(q), "duplicate QPN");
-            prop_assert_eq!(nic.qp_port(q), p);
+            assert!(seen.insert(q), "duplicate QPN");
+            assert_eq!(nic.qp_port(q), p);
         }
-        prop_assert_eq!(nic.qp_count(), ports.len());
+        assert_eq!(nic.qp_count(), ports.len());
     }
+}
 
-    /// WorkRequest payload accounting: atomics are always 8 bytes; other
-    /// verbs sum their SGL.
-    #[test]
-    fn wr_payload_accounting(lens in proptest::collection::vec(1u64..4096, 1..16)) {
-        use rnicsim::Sge;
+/// WorkRequest payload accounting: atomics are always 8 bytes; other verbs
+/// sum their SGL.
+#[test]
+fn wr_payload_accounting() {
+    use rnicsim::Sge;
+    let mut rng = SimRng::new(0x4107);
+    for _ in 0..CASES {
+        let lens: Vec<u64> = (0..1 + rng.gen_range(15)).map(|_| 1 + rng.gen_range(4095)).collect();
         let sgl: Vec<Sge> = lens.iter().map(|&l| Sge::new(MrId(0), 0, l)).collect();
         let write = WorkRequest {
-            wr_id: WrId(0), kind: VerbKind::Write, sgl: sgl.clone(), remote: None, signaled: true,
+            wr_id: WrId(0),
+            kind: VerbKind::Write,
+            sgl: sgl.clone().into(),
+            remote: None,
+            signaled: true,
         };
-        prop_assert_eq!(write.payload_bytes(), lens.iter().sum::<u64>());
+        assert_eq!(write.payload_bytes(), lens.iter().sum::<u64>());
         let faa = WorkRequest {
-            wr_id: WrId(0), kind: VerbKind::FetchAdd { delta: 1 }, sgl, remote: None, signaled: true,
+            wr_id: WrId(0),
+            kind: VerbKind::FetchAdd { delta: 1 },
+            sgl: sgl.into(),
+            remote: None,
+            signaled: true,
         };
-        prop_assert_eq!(faa.payload_bytes(), 8);
+        assert_eq!(faa.payload_bytes(), 8);
     }
 }

@@ -31,6 +31,7 @@
 
 pub mod events;
 pub mod lru;
+pub mod opcount;
 pub mod resource;
 pub mod rng;
 pub mod stats;

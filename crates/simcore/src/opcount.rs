@@ -1,0 +1,50 @@
+//! Thread-local count of simulated operations.
+//!
+//! The bench harness reports simulated-ops/sec per experiment; the count
+//! is maintained here, at the bottom of the crate stack, so the cluster
+//! layer can tick it from the verb/RPC hot path without threading a
+//! counter through every call signature. The counter is thread-local:
+//! parallel experiment runners measure per-worker deltas and fold them
+//! into the spawning thread's counter after a join (see
+//! `bench::par_map`), which keeps accounting exact under nesting.
+
+use std::cell::Cell;
+
+thread_local! {
+    static OPS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Record `n` simulated operations on this thread.
+#[inline]
+pub fn add(n: u64) {
+    OPS.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+/// Total simulated operations recorded on this thread so far. Monotone
+/// within a thread; take deltas to attribute ops to a code region.
+#[inline]
+pub fn current() -> u64 {
+    OPS.with(|c| c.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_per_thread_and_monotone() {
+        let before = current();
+        add(3);
+        add(4);
+        assert_eq!(current() - before, 7);
+        let other = std::thread::spawn(|| {
+            let b = current();
+            add(11);
+            current() - b
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other, 11);
+        assert_eq!(current() - before, 7, "other thread's ops don't leak here");
+    }
+}

@@ -10,13 +10,24 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Build a summary from raw samples. Panics on an empty sample set —
-    /// an experiment that produced no samples is a harness bug.
-    pub fn from_samples(mut samples: Vec<SimTime>) -> Self {
-        assert!(!samples.is_empty(), "Summary needs at least one sample");
+    /// Build a summary from raw samples, or `None` for an empty sample
+    /// set — callers name the experiment that produced zero samples
+    /// instead of aborting the whole run.
+    pub fn try_from_samples(mut samples: Vec<SimTime>) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
         samples.sort_unstable();
         let sum_ps = samples.iter().map(|t| t.as_ps() as u128).sum();
-        Summary { sorted: samples, sum_ps }
+        Some(Summary { sorted: samples, sum_ps })
+    }
+
+    /// Build a summary from raw samples. Panics on an empty sample set;
+    /// sweeps that may legitimately come up empty should use
+    /// [`Summary::try_from_samples`] and report which experiment
+    /// produced no samples.
+    pub fn from_samples(samples: Vec<SimTime>) -> Self {
+        Self::try_from_samples(samples).expect("Summary needs at least one sample")
     }
 
     /// Number of samples.
@@ -176,6 +187,12 @@ mod tests {
         assert_eq!(s.p50(), SimTime::from_us(2));
         assert_eq!(s.quantile(0.0), SimTime::from_us(2));
         assert_eq!(s.quantile(1.0), SimTime::from_us(2));
+    }
+
+    #[test]
+    fn summary_empty_is_none_not_panic() {
+        assert!(Summary::try_from_samples(Vec::new()).is_none());
+        assert!(Summary::try_from_samples(vec![SimTime::from_ns(3)]).is_some());
     }
 
     #[test]

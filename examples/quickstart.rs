@@ -43,7 +43,7 @@ fn main() {
     let faa = WorkRequest {
         wr_id: WrId(4),
         kind: VerbKind::FetchAdd { delta: 5 },
-        sgl: vec![Sge::new(src, 0, 8)],
+        sgl: Sge::new(src, 0, 8).into(),
         remote: Some((RKey(dst.0 as u64), 0)),
         signaled: true,
     };
@@ -60,7 +60,7 @@ fn main() {
     let cas = WorkRequest {
         wr_id: WrId(5),
         kind: VerbKind::CompareSwap { expected: 5, desired: 99 },
-        sgl: vec![Sge::new(src, 0, 8)],
+        sgl: Sge::new(src, 0, 8).into(),
         remote: Some((RKey(dst.0 as u64), 0)),
         signaled: true,
     };

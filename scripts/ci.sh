@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline CI gate: everything here must pass with no network access
+# (the workspace has no external dependencies by design).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== tests =="
+cargo test -q --offline
+
+echo "== clippy =="
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "== bench binaries build =="
+cargo build --benches --release --offline
+
+echo "== determinism check (serial vs parallel runner) =="
+cargo run --release --offline -p bench -- --check-determinism
+
+echo "CI OK"

@@ -18,7 +18,7 @@ fn warm_latency(kind: VerbKind, payload: u64) -> SimTime {
     let mk = |id| WorkRequest {
         wr_id: WrId(id),
         kind: kind.clone(),
-        sgl: vec![Sge::new(src, 0, payload)],
+        sgl: Sge::new(src, 0, payload).into(),
         remote: Some((RKey(dst.0 as u64), 0)),
         signaled: true,
     };
@@ -107,7 +107,7 @@ fn concurrent_faa_from_many_machines_is_exact() {
             let wr = WorkRequest {
                 wr_id: WrId(i),
                 kind: VerbKind::FetchAdd { delta: 1 },
-                sgl: vec![Sge::new(scratch, 0, 8)],
+                sgl: Sge::new(scratch, 0, 8).into(),
                 remote: Some((rkey, 0)),
                 signaled: true,
             };
