@@ -109,9 +109,8 @@ impl Client for Engine {
         // Build and marshal n records into the staging buffer. Without
         // NUMA awareness the record images stream out of data tables on
         // the alternate socket, at the QPI-crossing copy rate.
-        let copy_rate = tb.cfg.host.stream_ps_per_byte(!self.numa).max(
-            tb.cfg.host.memcpy_ps_per_byte,
-        );
+        let copy_rate =
+            tb.cfg.host.stream_ps_per_byte(!self.numa).max(tb.cfg.host.memcpy_ps_per_byte);
         let mut t = now;
         let mut bytes = Vec::with_capacity((n * self.record_bytes) as usize);
         for i in 0..n {
@@ -137,6 +136,61 @@ impl Client for Engine {
         self.meter.borrow_mut().record_n(cqe.at, n);
         Step::Yield(cqe.at)
     }
+}
+
+/// The analyzable form of one engine's verb sequence: engine 0's layout
+/// from [`run_dlog`] plus a few commit batches — each a reservation FAA
+/// on the log counter followed by one contiguous record write into the
+/// reserved range. The reservation arithmetic is the real one, so the
+/// checker sees the aligned 8-byte counter and in-bounds appends the
+/// protocol guarantees.
+pub fn verb_program(cfg: &DlogConfig) -> verbcheck::VerbProgram {
+    use rnicsim::{QpNum, VerbKind, WrId};
+    let log_machine = cfg.machines - 1;
+    let total_records = cfg.records_per_engine * cfg.engines as u64;
+    let log_bytes = total_records * cfg.record_bytes() + 4096;
+    let mut p = verbcheck::VerbProgram::new();
+    let log = MrId(0);
+    let counter = MrId(1);
+    p.mr(log_machine, log, 0, log_bytes);
+    p.mr(log_machine, counter, 0, 64);
+    // Engine 0: machine 0, socket 0, staging + scratch.
+    let staging = MrId(0);
+    let scratch = MrId(1);
+    p.mr(0, staging, 0, (cfg.batch as u64 + 1) * cfg.record_bytes() + 4096);
+    p.mr(0, scratch, 0, 64);
+    let conn = QpNum(0);
+    p.qp(conn, 0, log_machine, 0, 0);
+
+    // Three commit batches; reservations advance like the shared counter
+    // would if this engine were alone on the log.
+    let batch_bytes = cfg.batch.max(1) as u64 * cfg.record_bytes();
+    let mut reserved = 0u64;
+    for b in 0..3u64 {
+        p.post(
+            conn,
+            WorkRequest {
+                wr_id: WrId(b),
+                kind: VerbKind::FetchAdd { delta: batch_bytes },
+                sgl: Sge::new(scratch, 0, 8).into(),
+                remote: Some((RKey(counter.0 as u64), 0)),
+                signaled: true,
+            },
+        );
+        p.poll(conn, 1);
+        p.post(
+            conn,
+            WorkRequest::write(
+                100 + b,
+                Sge::new(staging, 0, batch_bytes),
+                RKey(log.0 as u64),
+                reserved,
+            ),
+        );
+        p.poll(conn, 1);
+        reserved += batch_bytes;
+    }
+    p
 }
 
 /// Run the distributed log experiment and verify the resulting log.
@@ -268,7 +322,8 @@ mod tests {
     fn reservations_never_overlap() {
         // Implicit in verification, but check the strongest invariant
         // directly: scanned records exactly tile the reserved space.
-        let cfg = DlogConfig { engines: 5, batch: 3, records_per_engine: 100, ..Default::default() };
+        let cfg =
+            DlogConfig { engines: 5, batch: 3, records_per_engine: 100, ..Default::default() };
         let r = run_dlog(&cfg);
         assert!(r.verified);
     }
@@ -278,13 +333,17 @@ mod tests {
 /// failure. The scan streams the log region at DRAM bandwidth and decodes
 /// each record; returns the recovered records and the virtual time the
 /// replay took.
-pub fn recovery_scan(tb: &Testbed, log_machine: usize, log: rnicsim::MrId, log_bytes: u64) -> (Vec<Record>, SimTime) {
+pub fn recovery_scan(
+    tb: &Testbed,
+    log_machine: usize,
+    log: rnicsim::MrId,
+    log_bytes: u64,
+) -> (Vec<Record>, SimTime) {
     /// CPU cost of validating + applying one record during replay.
     const REPLAY_COST: SimTime = SimTime::from_ns(120);
     let raw = tb.machine(log_machine).mem.read(log, 0, log_bytes);
     let records = scan_log(&raw);
-    let stream =
-        SimTime::from_ps(log_bytes * tb.cfg.host.stream_ps_per_byte(false));
+    let stream = SimTime::from_ps(log_bytes * tb.cfg.host.stream_ps_per_byte(false));
     let t = stream + REPLAY_COST * records.len() as u64;
     (records, t)
 }
@@ -326,7 +385,8 @@ pub fn run_dlog_with_recovery(cfg: &DlogConfig) -> (DlogReport, SimTime) {
     }
     let makespan = run_clients(&mut tb, &mut clients, SimTime::MAX);
     drop(clients);
-    let (records, recovery) = recovery_scan(&tb, log_machine, log, total_records * cfg.record_bytes());
+    let (records, recovery) =
+        recovery_scan(&tb, log_machine, log, total_records * cfg.record_bytes());
     let mut per_engine = vec![0u64; cfg.engines];
     for r in &records {
         per_engine[r.engine as usize] += 1;
@@ -334,10 +394,7 @@ pub fn run_dlog_with_recovery(cfg: &DlogConfig) -> (DlogReport, SimTime) {
     let verified = records.len() as u64 == total_records
         && per_engine.iter().all(|&c| c == cfg.records_per_engine);
     let mops = meter.borrow().mops();
-    (
-        DlogReport { mops, makespan, records: total_records, verified },
-        recovery,
-    )
+    (DlogReport { mops, makespan, records: total_records, verified }, recovery)
 }
 
 #[cfg(test)]
@@ -346,7 +403,8 @@ mod recovery_tests {
 
     #[test]
     fn recovery_replays_the_whole_log() {
-        let cfg = DlogConfig { engines: 5, batch: 1, records_per_engine: 400, ..Default::default() };
+        let cfg =
+            DlogConfig { engines: 5, batch: 1, records_per_engine: 400, ..Default::default() };
         let (report, recovery) = run_dlog_with_recovery(&cfg);
         assert!(report.verified);
         assert!(recovery > SimTime::ZERO);
@@ -363,11 +421,19 @@ mod recovery_tests {
     #[test]
     fn recovery_scales_linearly_with_log_size() {
         let small = run_dlog_with_recovery(&DlogConfig {
-            engines: 4, batch: 8, records_per_engine: 200, ..Default::default()
-        }).1;
+            engines: 4,
+            batch: 8,
+            records_per_engine: 200,
+            ..Default::default()
+        })
+        .1;
         let large = run_dlog_with_recovery(&DlogConfig {
-            engines: 4, batch: 8, records_per_engine: 800, ..Default::default()
-        }).1;
+            engines: 4,
+            batch: 8,
+            records_per_engine: 800,
+            ..Default::default()
+        })
+        .1;
         let ratio = large.as_ns() / small.as_ns();
         assert!((3.5..=4.5).contains(&ratio), "ratio {ratio}");
     }

@@ -25,7 +25,7 @@
 
 use cluster::{run_clients, Client, ClusterConfig, ConnId, Endpoint, Step, Testbed};
 use remem::{Backoff, RemoteSpinlock};
-use rnicsim::{CqeStatus, MrId, RKey, Sge, VerbKind, WorkRequest, WrId};
+use rnicsim::{CqeStatus, MrId, QpNum, RKey, Sge, VerbKind, WorkRequest, WrId};
 use simcore::{Meter, SimRng, SimTime};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -151,7 +151,10 @@ struct Tables {
 enum FeState {
     NextOp,
     /// Ablation only: FAA done; the entry write goes out next step.
-    WritePending { key: u64, value: Vec<u8> },
+    WritePending {
+        key: u64,
+        value: Vec<u8>,
+    },
 }
 
 struct FrontEnd {
@@ -313,8 +316,7 @@ impl FrontEnd {
                 offset: block * 8,
                 backoff: Some(Backoff::default()),
             };
-            let acq =
-                lock.lock(tb, conn, flush_start, Sge::new(self.staging, 0, 8), &mut self.rng);
+            let acq = lock.lock(tb, conn, flush_start, Sge::new(self.staging, 0, 8), &mut self.rng);
             (acq.at, acq.attempts, 3)
         } else {
             (flush_start + tb.cfg.host.l1_touch, 1, 1)
@@ -431,20 +433,14 @@ pub fn run_hashtable_debug(cfg: &HtConfig) -> (HtReport, Testbed) {
     let hot_keys = (cfg.keys / cfg.hot_fraction_inv).max(BLOCK_ENTRIES * 2);
     let ring_bytes = RING_BLOCKS * BLOCK_ENTRIES * SLOT_BYTES;
     let tables = Rc::new(Tables {
-        table: [
-            tb.register(backend, 0, per_socket),
-            tb.register(backend, 1, per_socket),
-        ],
+        table: [tb.register(backend, 0, per_socket), tb.register(backend, 1, per_socket)],
     });
     // One private burst-buffer area (+ lock table) per front-end and
     // socket; front-ends never contend on each other's block locks.
     let mut fe_hot: Vec<[MrId; 2]> = Vec::new();
     let mut fe_locks: Vec<[MrId; 2]> = Vec::new();
     for _ in 0..cfg.front_ends {
-        fe_hot.push([
-            tb.register(backend, 0, ring_bytes),
-            tb.register(backend, 1, ring_bytes),
-        ]);
+        fe_hot.push([tb.register(backend, 0, ring_bytes), tb.register(backend, 1, ring_bytes)]);
         fe_locks.push([
             tb.register(backend, 0, RING_BLOCKS * 8),
             tb.register(backend, 1, RING_BLOCKS * 8),
@@ -543,11 +539,7 @@ pub fn run_hashtable_debug(cfg: &HtConfig) -> (HtReport, Testbed) {
         mops: sh.meter.mops(),
         makespan,
         ops: sh.total_ops,
-        hot_fraction: if sh.total_ops == 0 {
-            0.0
-        } else {
-            sh.hot_ops as f64 / sh.total_ops as f64
-        },
+        hot_fraction: if sh.total_ops == 0 { 0.0 } else { sh.hot_ops as f64 / sh.total_ops as f64 },
         flushes: sh.flushes,
         avg_lock_attempts: if sh.flushes == 0 {
             0.0
@@ -559,6 +551,101 @@ pub fn run_hashtable_debug(cfg: &HtConfig) -> (HtReport, Testbed) {
     };
     drop(sh);
     (report, tb)
+}
+
+/// The analyzable form of one front-end's verb sequence: the table /
+/// burst-buffer / staging geometry of [`run_hashtable`] plus a
+/// representative run of inserts (and, for [`HtVariant::Reorder`], a hot
+/// block flush). `verbcheck` checks this before any simulation runs —
+/// every offset below uses the same [`SLOT_BYTES`] / [`BLOCK_ENTRIES`] /
+/// [`RING_BLOCKS`] arithmetic as the simulated front-end.
+pub fn verb_program(cfg: &HtConfig) -> verbcheck::VerbProgram {
+    use verbcheck::VerbProgram;
+    let backend = cfg.machines - 1;
+    let per_socket = (cfg.keys / 2 + 1) * SLOT_BYTES;
+    let ring_bytes = RING_BLOCKS * BLOCK_ENTRIES * SLOT_BYTES;
+    let mut p = VerbProgram::new();
+    // Back-end: the per-socket tables, one front-end's burst area + locks.
+    let table = [MrId(0), MrId(1)];
+    p.mr(backend, table[0], 0, per_socket);
+    p.mr(backend, table[1], 1, per_socket);
+    let hot = [MrId(2), MrId(3)];
+    let locks = [MrId(4), MrId(5)];
+    p.mr(backend, hot[0], 0, ring_bytes);
+    p.mr(backend, hot[1], 1, ring_bytes);
+    p.mr(backend, locks[0], 0, RING_BLOCKS * 8);
+    p.mr(backend, locks[1], 1, RING_BLOCKS * 8);
+    // Front-end machine 0, one lane per socket: staging + shadow.
+    let staging = [MrId(0), MrId(1)];
+    let shadow = [MrId(2), MrId(3)];
+    p.mr(0, staging[0], 0, 4096);
+    p.mr(0, staging[1], 1, 4096);
+    p.mr(0, shadow[0], 0, ring_bytes);
+    p.mr(0, shadow[1], 1, ring_bytes);
+    // One connection per back-end socket (socket-affine ports, as in the
+    // optimized variants; `Basic` differs only in core placement, which
+    // the analyzer does not model).
+    let conn = [QpNum(0), QpNum(1)];
+    p.qp(conn[0], 0, backend, 0, 0);
+    p.qp(conn[1], 0, backend, 1, 1);
+
+    let value_len = cfg.value_len as u64;
+    for key in 0..6u64 {
+        let socket = (key & 1) as usize;
+        let slot = (key >> 1) * SLOT_BYTES;
+        if matches!(cfg.variant, HtVariant::VersionedFaa) {
+            // Ablation cold path: FAA the version word first.
+            p.post(
+                conn[socket],
+                WorkRequest {
+                    wr_id: WrId(key),
+                    kind: VerbKind::FetchAdd { delta: 1 },
+                    sgl: Sge::new(staging[socket], 0, 8).into(),
+                    remote: Some((RKey(table[socket].0 as u64), slot)),
+                    signaled: true,
+                },
+            );
+            p.poll(conn[socket], 1);
+        }
+        // The insert: write [version | key | value] into the slot.
+        p.post(
+            conn[socket],
+            WorkRequest::write(
+                key,
+                Sge::new(staging[socket], 16, 16 + value_len),
+                RKey(table[socket].0 as u64),
+                slot,
+            ),
+        );
+        p.poll(conn[socket], 1);
+        // A search of the same slot.
+        p.post(
+            conn[socket],
+            WorkRequest::read(
+                100 + key,
+                Sge::new(staging[socket], 1024, 16 + value_len),
+                RKey(table[socket].0 as u64),
+                slot,
+            ),
+        );
+        p.poll(conn[socket], 1);
+    }
+    if matches!(cfg.variant, HtVariant::Reorder { .. } | HtVariant::ReorderLocked { .. }) {
+        // A hot block flush: one 2 KB write into the burst-buffer ring —
+        // the consolidation that *avoids* W203's small-write pattern.
+        let block = 3u64;
+        p.post(
+            conn[1],
+            WorkRequest::write(
+                200,
+                Sge::new(shadow[1], block * BLOCK_ENTRIES * SLOT_BYTES, BLOCK_ENTRIES * SLOT_BYTES),
+                RKey(hot[1].0 as u64),
+                block * BLOCK_ENTRIES * SLOT_BYTES,
+            ),
+        );
+        p.poll(conn[1], 1);
+    }
+    p
 }
 
 /// Single-front-end correctness harness: runs inserts and then checks the
@@ -574,10 +661,7 @@ pub fn verify_hashtable_contents(keys_to_check: u64) -> bool {
     let backend = cfg.machines - 1;
     let mut tb = Testbed::new(ClusterConfig { machines: cfg.machines, ..Default::default() });
     let per_socket = (cfg.keys / 2 + 1) * SLOT_BYTES;
-    let table = [
-        tb.register(backend, 0, per_socket),
-        tb.register(backend, 1, per_socket),
-    ];
+    let table = [tb.register(backend, 0, per_socket), tb.register(backend, 1, per_socket)];
     let conn = [
         tb.connect(Endpoint::affine(0, 0), Endpoint::affine(backend, 0)),
         tb.connect(Endpoint::affine(0, 1), Endpoint::affine(backend, 1)),
@@ -648,24 +732,14 @@ mod tests {
     fn numa_beats_basic() {
         let basic = quick(HtVariant::Basic, 6);
         let numa = quick(HtVariant::Numa, 6);
-        assert!(
-            numa.mops > basic.mops * 1.05,
-            "numa {} vs basic {}",
-            numa.mops,
-            basic.mops
-        );
+        assert!(numa.mops > basic.mops * 1.05, "numa {} vs basic {}", numa.mops, basic.mops);
     }
 
     #[test]
     fn reorder_beats_numa_substantially() {
         let numa = quick(HtVariant::Numa, 6);
         let reorder = quick(HtVariant::Reorder { theta: 16 }, 6);
-        assert!(
-            reorder.mops > numa.mops * 1.4,
-            "reorder {} vs numa {}",
-            reorder.mops,
-            numa.mops
-        );
+        assert!(reorder.mops > numa.mops * 1.4, "reorder {} vs numa {}", reorder.mops, numa.mops);
         assert!(reorder.hot_fraction > 0.4, "hot fraction {}", reorder.hot_fraction);
     }
 
@@ -713,12 +787,7 @@ mod mixed_workload_tests {
         // plain NUMA placement.
         let numa = mixed(0.2, HtVariant::Numa);
         let reorder = mixed(0.2, HtVariant::Reorder { theta: 16 });
-        assert!(
-            reorder.mops > numa.mops * 1.3,
-            "reorder {} vs numa {}",
-            reorder.mops,
-            numa.mops
-        );
+        assert!(reorder.mops > numa.mops * 1.3, "reorder {} vs numa {}", reorder.mops, numa.mops);
     }
 
     #[test]
@@ -738,18 +807,25 @@ mod mixed_workload_tests {
         let w = tb.post_one(
             SimTime::ZERO,
             conn,
-            WorkRequest::write(1, Sge::new(staging, 0, image.len() as u64), RKey(table.0 as u64), slot),
+            WorkRequest::write(
+                1,
+                Sge::new(staging, 0, image.len() as u64),
+                RKey(table.0 as u64),
+                slot,
+            ),
         );
         // Search: read the slot back.
         let r = tb.post_one(
             w.at,
             conn,
-            WorkRequest::read(2, Sge::new(staging, 1024, image.len() as u64), RKey(table.0 as u64), slot),
+            WorkRequest::read(
+                2,
+                Sge::new(staging, 1024, image.len() as u64),
+                RKey(table.0 as u64),
+                slot,
+            ),
         );
         assert_eq!(r.status, CqeStatus::Success);
-        assert_eq!(
-            tb.machine(0).mem.read(staging, 1024, image.len() as u64),
-            image
-        );
+        assert_eq!(tb.machine(0).mem.read(staging, 1024, image.len() as u64), image);
     }
 }

@@ -100,9 +100,9 @@ struct Counts {
 
 impl Counts {
     fn received(&self, consumer: usize) -> (u64, u64) {
-        self.matrix.iter().fold((0, 0), |acc, row| {
-            (acc.0 + row[consumer].0, acc.1 + row[consumer].1)
-        })
+        self.matrix
+            .iter()
+            .fold((0, 0), |acc, row| (acc.0 + row[consumer].0, acc.1 + row[consumer].1))
     }
 }
 
@@ -173,8 +173,7 @@ impl PartitionExecutor {
                     let mut t = now;
                     let mut cursor = off;
                     for sge in &bufs {
-                        let data =
-                            tb.machine(self.machine).mem.read(sge.mr, sge.offset, sge.len);
+                        let data = tb.machine(self.machine).mem.read(sge.mr, sge.offset, sge.len);
                         tb.machine_mut(self.machine).mem.write(region, cursor, &data);
                         cursor += sge.len;
                         t += tb.cfg.host.memcpy_cost(sge.len as usize) + tb.cfg.host.l1_touch;
@@ -234,6 +233,66 @@ impl Client for PartitionExecutor {
         }
         Step::Done
     }
+}
+
+/// The analyzable form of one partition executor's verb sequence:
+/// producer 0's slab geometry from [`run_join`] plus one flush per
+/// relation to a remote consumer, shaped by the configured strategy —
+/// a λ-entry SGL gather ([`Strategy::Sgl`]) or one staged contiguous
+/// write ([`Strategy::Sp`]). A λ beyond the device's `max_sge` makes
+/// `verbcheck` report W201 on the SGL form.
+pub fn verb_program(cfg: &JoinConfig) -> verbcheck::VerbProgram {
+    use rnicsim::{QpNum, VerbKind, WorkRequest, WrId};
+    let base_share = cfg.tuples / cfg.executors as u64;
+    let slab = ((base_share + 1) / cfg.executors as u64 + 16) * 2 * cfg.tuple_bytes + 4096;
+    let mut p = verbcheck::VerbProgram::new();
+    let (pm, ps) = place(cfg.machines, 0);
+    let (cm, cs) = place(cfg.machines, 1);
+    let recv_socket = if cfg.numa { cs } else { 1 - cs };
+    // Consumer 1's [inner | outer] receive regions.
+    let recv = [MrId(0), MrId(1)];
+    p.mr(cm, recv[0], recv_socket, slab * cfg.executors as u64);
+    p.mr(cm, recv[1], recv_socket, slab * cfg.executors as u64);
+    // Producer 0's input (both relations' share) and staging.
+    let input = MrId(0);
+    let staging = MrId(1);
+    p.mr(pm, input, ps, 2 * (base_share + 1) * cfg.tuple_bytes + 4096);
+    p.mr(pm, staging, ps, 64 * cfg.tuple_bytes + 4096);
+    let conn = QpNum(0);
+    p.qp(conn, pm, cm, ps, cs);
+
+    let batch = cfg.batch.max(1) as u64;
+    for rel in 0..2u64 {
+        // Producer 0's slab inside the relation's region starts at 0.
+        let dst = RKey(recv[rel as usize].0 as u64);
+        match cfg.strategy {
+            Strategy::Sgl => {
+                let sgl: Vec<Sge> = (0..batch)
+                    .map(|i| Sge::new(input, (rel * batch + i) * cfg.tuple_bytes, cfg.tuple_bytes))
+                    .collect();
+                p.post(
+                    conn,
+                    WorkRequest {
+                        wr_id: WrId(rel),
+                        kind: VerbKind::Write,
+                        sgl: sgl.into(),
+                        remote: Some((dst, 0)),
+                        signaled: true,
+                    },
+                );
+            }
+            _ => {
+                // Sp (and the doorbell fallback) send one contiguous
+                // staged write per flush.
+                p.post(
+                    conn,
+                    WorkRequest::write(rel, Sge::new(staging, 0, batch * cfg.tuple_bytes), dst, 0),
+                );
+            }
+        }
+        p.poll(conn, 1);
+    }
+    p
 }
 
 /// Run the distributed join.
@@ -300,16 +359,13 @@ pub fn run_join(cfg: &JoinConfig) -> JoinReport {
                 let mut bytes = vec![0u8; cfg.tuple_bytes as usize];
                 bytes[..8].copy_from_slice(&t.key.to_le_bytes());
                 bytes[8..16].copy_from_slice(&t.payload.to_le_bytes());
-                tb.machine_mut(machine)
-                    .mem
-                    .write(mr, (share + i as u64) * cfg.tuple_bytes, &bytes);
+                tb.machine_mut(machine).mem.write(mr, (share + i as u64) * cfg.tuple_bytes, &bytes);
             }
             mr
         } else {
             tb.register_unbacked(machine, socket, input_len)
         };
-        let staging =
-            tb.register(machine, socket, (cfg.batch as u64 + 1) * cfg.tuple_bytes + 4096);
+        let staging = tb.register(machine, socket, (cfg.batch as u64 + 1) * cfg.tuple_bytes + 4096);
 
         let mut conns = Vec::new();
         let mut slabs = Vec::new();
@@ -328,10 +384,7 @@ pub fn run_join(cfg: &JoinConfig) -> JoinReport {
                 };
                 conns.push(Some(tb.connect(cl, sv)));
             }
-            slabs.push([
-                (recv[c][0], p as u64 * slab),
-                (recv[c][1], p as u64 * slab),
-            ]);
+            slabs.push([(recv[c][0], p as u64 * slab), (recv[c][1], p as u64 * slab)]);
         }
 
         clients.push(Box::new(PartitionExecutor {
@@ -435,7 +488,8 @@ mod tests {
 
     #[test]
     fn batching_speeds_up_the_join() {
-        let base = JoinConfig { tuples: 1 << 14, executors: 4, verify: false, ..Default::default() };
+        let base =
+            JoinConfig { tuples: 1 << 14, executors: 4, verify: false, ..Default::default() };
         let no_batch = run_join(&JoinConfig { batch: 1, ..base.clone() });
         let batched = run_join(&JoinConfig { batch: 16, ..base });
         assert!(
@@ -473,7 +527,13 @@ mod tests {
 
     #[test]
     fn numa_awareness_reduces_time() {
-        let base = JoinConfig { tuples: 1 << 14, executors: 4, verify: false, batch: 4, ..Default::default() };
+        let base = JoinConfig {
+            tuples: 1 << 14,
+            executors: 4,
+            verify: false,
+            batch: 4,
+            ..Default::default()
+        };
         let affine = run_join(&JoinConfig { numa: true, ..base.clone() });
         let oblivious = run_join(&JoinConfig { numa: false, ..base });
         assert!(affine.time < oblivious.time, "{} vs {}", affine.time, oblivious.time);

@@ -19,7 +19,7 @@ pub mod hashtable;
 pub mod join;
 pub mod shuffle;
 
-pub use hashtable::{run_hashtable, HtConfig, HtReport, HtVariant};
 pub use dlog::{recovery_scan, run_dlog, run_dlog_with_recovery, DlogConfig, DlogReport};
+pub use hashtable::{run_hashtable, HtConfig, HtReport, HtVariant};
 pub use join::{run_join, single_machine_time, JoinConfig, JoinReport};
 pub use shuffle::{run_shuffle, ShuffleConfig, ShuffleReport, ShuffleVariant};

@@ -18,7 +18,7 @@
 
 use cluster::{run_clients, Client, ClusterConfig, ConnId, Endpoint, Step, Testbed};
 use remem::{batched_write, RemoteDst, Strategy};
-use rnicsim::{CqeStatus, MrId, RKey, Sge, VerbKind, WorkRequest, WrId};
+use rnicsim::{CqeStatus, MrId, QpNum, RKey, Sge, VerbKind, WorkRequest, WrId};
 use simcore::{Meter, SimRng, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -197,8 +197,7 @@ impl Client for Executor {
         // Consume input until one destination list is full.
         while self.produced < self.total {
             let off = self.produced * self.entry_bytes;
-            let key =
-                tb.machine(self.machine).mem.load_u64(self.input, off);
+            let key = tb.machine(self.machine).mem.load_u64(self.input, off);
             let dest = (workloads::fnv64(key) % self.consumers as u64) as usize;
             t += self.route_cost;
             self.produced += 1;
@@ -243,6 +242,107 @@ impl Client for Executor {
     }
 }
 
+/// The analyzable form of one producer's verb sequence: executor 0's
+/// slab geometry from [`run_shuffle`] plus one slab's worth of pushes to
+/// a remote consumer, in the shape the configured variant produces —
+/// per-entry writes (`Basic`), one multi-SGE WR (`Sgl`), or one staged
+/// contiguous write (`Sp`). Running `verbcheck` over the `Basic` program
+/// reports W203 (small writes to one block should consolidate): the very
+/// guideline the `Sgl`/`Sp` variants implement.
+pub fn verb_program(cfg: &ShuffleConfig) -> verbcheck::VerbProgram {
+    let entry_bytes = cfg.entry_bytes();
+    let slab_bytes = cfg.slab_bytes();
+    let mut p = verbcheck::VerbProgram::new();
+    // Producer 0 on machine 0; consumer 1 on machine 1 (socket-affine
+    // placement — the oblivious variant differs only in core placement).
+    let (pm, ps) = executor_place(cfg, 0);
+    let (cm, cs) = executor_place(cfg, 1);
+    let region_socket = if cfg.numa { cs } else { 1 - cs };
+    let input = MrId(0);
+    let staging = MrId(1);
+    p.mr(pm, input, ps, cfg.entries_per_executor * entry_bytes + 4096);
+    p.mr(pm, staging, ps, 64 * entry_bytes + 4096);
+    let recv = MrId(0);
+    p.mr(cm, recv, region_socket, slab_bytes * cfg.executors as u64);
+    let conn = QpNum(0);
+    p.qp(conn, pm, cm, ps, cs);
+
+    // Producer 0's slab inside the consumer's region starts at offset 0.
+    let mut slab_off = 0u64;
+    let batch = match cfg.variant {
+        ShuffleVariant::Basic => 1,
+        ShuffleVariant::Sgl(b) | ShuffleVariant::Sp(b) => b,
+    };
+    let pushes = 16u64;
+    match cfg.variant {
+        ShuffleVariant::Basic => {
+            // One small write per entry, packed back to back in the slab.
+            for i in 0..pushes {
+                p.post(
+                    conn,
+                    WorkRequest::write(
+                        i,
+                        Sge::new(input, i * entry_bytes, entry_bytes),
+                        RKey(recv.0 as u64),
+                        slab_off,
+                    ),
+                );
+                p.poll(conn, 1);
+                slab_off += entry_bytes;
+            }
+        }
+        ShuffleVariant::Sgl(_) => {
+            // λ gather entries in one WR: the RNIC does the copying.
+            let sgl: Vec<Sge> =
+                (0..batch as u64).map(|i| Sge::new(input, i * entry_bytes, entry_bytes)).collect();
+            p.post(
+                conn,
+                WorkRequest {
+                    wr_id: WrId(0),
+                    kind: VerbKind::Write,
+                    sgl: sgl.into(),
+                    remote: Some((RKey(recv.0 as u64), slab_off)),
+                    signaled: true,
+                },
+            );
+            p.poll(conn, 1);
+        }
+        ShuffleVariant::Sp(_) => {
+            // CPU-staged copy, then one contiguous write.
+            p.post(
+                conn,
+                WorkRequest::write(
+                    0,
+                    Sge::new(staging, 0, batch as u64 * entry_bytes),
+                    RKey(recv.0 as u64),
+                    slab_off,
+                ),
+            );
+            p.poll(conn, 1);
+        }
+    }
+    // The stage hand-off barrier: FAA on the sync counter (machine 0
+    // socket 0 — declared only when the producer is remote from it).
+    let sync_conn = QpNum(1);
+    let sync = MrId(2);
+    p.mr(0, sync, 0, 64);
+    if pm != 0 {
+        p.qp(sync_conn, pm, 0, ps, 0);
+        p.post(
+            sync_conn,
+            WorkRequest {
+                wr_id: WrId(99),
+                kind: VerbKind::FetchAdd { delta: 1 },
+                sgl: Sge::new(staging, 0, 8).into(),
+                remote: Some((RKey(sync.0 as u64), 0)),
+                signaled: true,
+            },
+        );
+        p.poll(sync_conn, 1);
+    }
+    p
+}
+
 /// Run one shuffle and verify delivery.
 pub fn run_shuffle(cfg: &ShuffleConfig) -> ShuffleReport {
     assert!(cfg.executors >= 2, "shuffle needs at least two executors");
@@ -267,16 +367,13 @@ pub fn run_shuffle(cfg: &ShuffleConfig) -> ShuffleReport {
     let mut produced_entries: Vec<Vec<Entry>> = Vec::new();
     for p in 0..cfg.executors {
         let (machine, socket) = executor_place(cfg, p);
-        let input =
-            tb.register(machine, socket, cfg.entries_per_executor * entry_bytes + 4096);
+        let input = tb.register(machine, socket, cfg.entries_per_executor * entry_bytes + 4096);
         let staging = tb.register(machine, socket, 64 * entry_bytes + 4096);
         let stream =
             EntryStream::new(cfg.entries_per_executor, cfg.value_len, root_rng.split(p as u64));
         let entries: Vec<Entry> = stream.collect();
         for (i, e) in entries.iter().enumerate() {
-            tb.machine_mut(machine)
-                .mem
-                .write(input, i as u64 * entry_bytes, &e.encode());
+            tb.machine_mut(machine).mem.write(input, i as u64 * entry_bytes, &e.encode());
         }
         produced_entries.push(entries);
 
@@ -341,10 +438,8 @@ pub fn run_shuffle(cfg: &ShuffleConfig) -> ShuffleReport {
         for p in 0..cfg.executors {
             let base = p as u64 * slab_bytes;
             let mut off = base;
-            let expect: Vec<&Entry> = produced_entries[p]
-                .iter()
-                .filter(|e| e.destination(cfg.executors) == c)
-                .collect();
+            let expect: Vec<&Entry> =
+                produced_entries[p].iter().filter(|e| e.destination(cfg.executors) == c).collect();
             for e in expect {
                 let raw = tb.machine(cm).mem.read(recv_regions[c], off, entry_bytes);
                 let got = Entry::decode(&raw, cfg.value_len);

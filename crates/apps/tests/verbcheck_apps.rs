@@ -1,0 +1,82 @@
+//! Static analysis over the applications' verb programs: every app's
+//! default program must be free of error-severity findings, and the
+//! warnings that do appear must be exactly the paper-guideline lints the
+//! optimized variants exist to fix.
+
+use apps::{dlog, hashtable, join, shuffle, HtConfig, HtVariant, JoinConfig, ShuffleConfig};
+use rnicsim::DeviceCaps;
+use verbcheck::{analyze, has_errors, Code};
+
+fn codes(p: &verbcheck::VerbProgram) -> Vec<Code> {
+    analyze(p, &DeviceCaps::default()).iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn hashtable_programs_are_error_free() {
+    for variant in [
+        HtVariant::Basic,
+        HtVariant::Numa,
+        HtVariant::Reorder { theta: 16 },
+        HtVariant::ReorderLocked { theta: 16 },
+        HtVariant::VersionedFaa,
+    ] {
+        let p = hashtable::verb_program(&HtConfig { variant, ..Default::default() });
+        let diags = analyze(&p, &DeviceCaps::default());
+        assert!(
+            diags.is_empty(),
+            "{variant:?}: {}",
+            diags.iter().map(|d| d.render()).collect::<String>()
+        );
+    }
+}
+
+#[test]
+fn shuffle_optimized_variants_are_clean() {
+    for variant in [shuffle::ShuffleVariant::Sgl(16), shuffle::ShuffleVariant::Sp(16)] {
+        let p = shuffle::verb_program(&ShuffleConfig { variant, ..Default::default() });
+        assert!(codes(&p).is_empty(), "{variant:?}");
+    }
+}
+
+#[test]
+fn basic_shuffle_draws_the_consolidation_lint() {
+    // The unbatched shuffle is exactly the §III-C anti-pattern: a stream
+    // of small per-entry writes into one block of the consumer's slab.
+    let p = shuffle::verb_program(&ShuffleConfig {
+        variant: shuffle::ShuffleVariant::Basic,
+        ..Default::default()
+    });
+    let diags = analyze(&p, &DeviceCaps::default());
+    assert_eq!(
+        diags.iter().map(|d| d.code).collect::<Vec<_>>(),
+        vec![Code::W203],
+        "{}",
+        diags.iter().map(|d| d.render()).collect::<String>()
+    );
+    assert!(!has_errors(&diags), "a guideline miss is not a fault");
+}
+
+#[test]
+fn join_programs_are_error_free_and_flag_oversized_sgl() {
+    for strategy in [remem::Strategy::Sgl, remem::Strategy::Sp] {
+        let p = join::verb_program(&JoinConfig { strategy, ..Default::default() });
+        assert!(codes(&p).is_empty(), "{strategy:?}");
+    }
+    // A batch beyond max_sge on the SGL path draws W201 (§III-A).
+    let caps = DeviceCaps::default();
+    let p = join::verb_program(&JoinConfig {
+        strategy: remem::Strategy::Sgl,
+        batch: caps.max_sge + 1,
+        ..Default::default()
+    });
+    let diags = analyze(&p, &caps);
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec![Code::W201, Code::W201]);
+}
+
+#[test]
+fn dlog_program_is_clean_at_every_batch_size() {
+    for batch in [1usize, 8, 32] {
+        let p = dlog::verb_program(&dlog::DlogConfig { batch, ..Default::default() });
+        assert!(codes(&p).is_empty(), "batch {batch}");
+    }
+}

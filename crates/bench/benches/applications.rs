@@ -28,7 +28,12 @@ fn main() {
         .mops
     });
     bench("applications/dlog_point", 1, || {
-        run_dlog(&DlogConfig { engines: 7, batch: 16, records_per_engine: 800, ..Default::default() })
-            .mops
+        run_dlog(&DlogConfig {
+            engines: 7,
+            batch: 16,
+            records_per_engine: 800,
+            ..Default::default()
+        })
+        .mops
     });
 }

@@ -33,12 +33,9 @@ fn rand_write_point(cfg: ClusterConfig) -> (f64, f64) {
     let skip = (ops / 2) as usize;
     let mops = simcore::mops(ops / 2 - 1, *comps.last().expect("ops") - comps[skip]);
     let issues = issue_log.borrow();
-    let lat_ns: f64 = comps[skip..]
-        .iter()
-        .zip(&issues[skip..])
-        .map(|(c, i)| (*c - *i).as_ns())
-        .sum::<f64>()
-        / (ops / 2) as f64;
+    let lat_ns: f64 =
+        comps[skip..].iter().zip(&issues[skip..]).map(|(c, i)| (*c - *i).as_ns()).sum::<f64>()
+            / (ops / 2) as f64;
     (mops, lat_ns / 1000.0)
 }
 
@@ -193,8 +190,12 @@ pub fn ablate_inline() -> Vec<Experiment> {
         );
         lat.push(inline_max as f64, (c.at - warm.at).as_us());
         let mut cl = ClosedLoop::new(16, 3000, move |tb: &mut Testbed, now, i| {
-            tb.post_one(now, conn, WorkRequest::write(i, Sge::new(src, 0, 32), RKey(dst.0 as u64), 0))
-                .at
+            tb.post_one(
+                now,
+                conn,
+                WorkRequest::write(i, Sge::new(src, 0, 32), RKey(dst.0 as u64), 0),
+            )
+            .at
         });
         {
             let mut clients: Vec<Box<dyn Client + '_>> = vec![Box::new(&mut cl)];

@@ -251,11 +251,8 @@ pub fn fig16(scale: Scale) -> Vec<Experiment> {
 
 /// Fig 17: join time breakdown across data scales.
 pub fn fig17(scale: Scale) -> Vec<Experiment> {
-    let scales: Vec<u64> = if scale.paper {
-        vec![1 << 24, 1 << 25, 1 << 26]
-    } else {
-        vec![1 << 20, 1 << 21, 1 << 22]
-    };
+    let scales: Vec<u64> =
+        if scale.paper { vec![1 << 24, 1 << 25, 1 << 26] } else { vec![1 << 20, 1 << 21, 1 << 22] };
     let mut series = Vec::new();
     let mut single = Series::new("Single Machine");
     for &n in &scales {
@@ -427,10 +424,9 @@ pub fn extra_ycsb() -> Vec<Experiment> {
     let mut numa = Series::new("+Numa-OPT");
     let mut reorder = Series::new("+Reorder-OPT (theta=16)");
     for (xi, (_, frac)) in mixes.iter().enumerate() {
-        for (series, variant) in [
-            (&mut numa, HtVariant::Numa),
-            (&mut reorder, HtVariant::Reorder { theta: 16 }),
-        ] {
+        for (series, variant) in
+            [(&mut numa, HtVariant::Numa), (&mut reorder, HtVariant::Reorder { theta: 16 })]
+        {
             let r = run_hashtable(&HtConfig {
                 front_ends: 6,
                 ops_per_fe: 1200,

@@ -179,16 +179,20 @@ pub fn remote_sequencer_mops(threads: usize, tickets_per_thread: u64) -> f64 {
         let scratch = tb.register(machine, 1, 64);
         let conn = tb.connect(Endpoint::affine(machine, 1), Endpoint::affine(7, 1));
         let rkey = RKey(counter.0 as u64);
-        loops.push(cluster::ClosedLoop::new(1, tickets_per_thread, move |tb: &mut Testbed, now, i| {
-            let wr = WorkRequest {
-                wr_id: WrId(i),
-                kind: VerbKind::FetchAdd { delta: 1 },
-                sgl: Sge::new(scratch, 0, 8).into(),
-                remote: Some((rkey, 0)),
-                signaled: true,
-            };
-            tb.post_one(now, conn, wr).at
-        }));
+        loops.push(cluster::ClosedLoop::new(
+            1,
+            tickets_per_thread,
+            move |tb: &mut Testbed, now, i| {
+                let wr = WorkRequest {
+                    wr_id: WrId(i),
+                    kind: VerbKind::FetchAdd { delta: 1 },
+                    sgl: Sge::new(scratch, 0, 8).into(),
+                    remote: Some((rkey, 0)),
+                    signaled: true,
+                };
+                tb.post_one(now, conn, wr).at
+            },
+        ));
     }
     let mut clients: Vec<Box<dyn Client + '_>> =
         loops.iter_mut().map(|c| Box::new(c) as _).collect();
@@ -209,9 +213,11 @@ pub fn rpc_sequencer_mops(threads: usize, tickets_per_thread: u64, transport: Tr
         let machine = th % 7;
         let conn = tb.connect_with(Endpoint::affine(machine, 1), Endpoint::affine(7, 1), transport);
         let seq = seq.clone();
-        loops.push(cluster::ClosedLoop::new(1, tickets_per_thread, move |tb: &mut Testbed, now, _| {
-            seq.next(tb, conn, now).at
-        }));
+        loops.push(cluster::ClosedLoop::new(
+            1,
+            tickets_per_thread,
+            move |tb: &mut Testbed, now, _| seq.next(tb, conn, now).at,
+        ));
     }
     let mut clients: Vec<Box<dyn Client + '_>> =
         loops.iter_mut().map(|c| Box::new(c) as _).collect();

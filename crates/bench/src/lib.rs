@@ -19,6 +19,7 @@ pub mod ablate;
 pub mod appfigs;
 pub mod atomics;
 pub mod harness;
+pub mod lint;
 pub mod micro;
 pub mod report;
 
@@ -45,9 +46,7 @@ pub fn parallelism(n: usize) -> usize {
             .ok()
             .and_then(|v| v.parse().ok())
             .filter(|&j| j > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-            }),
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)),
         j => j,
     };
     configured.min(n).max(1)
@@ -109,9 +108,32 @@ pub fn par_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Ve
 
 /// Every experiment id the harness can regenerate, in paper order.
 pub const ALL_IDS: &[&str] = &[
-    "fig1", "fig3", "fig4", "fig5", "table1", "fig6", "fig8", "table2", "table3", "fig10",
-    "fig12", "fig13", "fig15", "fig16", "fig17", "fig18", "fig19", "extra-mr-scale",
-    "extra-qp-scale", "extra-recovery", "extra-reg-cost", "extra-ycsb", "ablate-occupancy", "ablate-mtt", "ablate-backoff", "ablate-inline",
+    "fig1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "table1",
+    "fig6",
+    "fig8",
+    "table2",
+    "table3",
+    "fig10",
+    "fig12",
+    "fig13",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "extra-mr-scale",
+    "extra-qp-scale",
+    "extra-recovery",
+    "extra-reg-cost",
+    "extra-ycsb",
+    "ablate-occupancy",
+    "ablate-mtt",
+    "ablate-backoff",
+    "ablate-inline",
 ];
 
 /// The §III microbenchmark set (the bench wall-clock acceptance target).

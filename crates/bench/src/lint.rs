@@ -1,0 +1,537 @@
+//! Static verb analysis over the experiments' posting patterns.
+//!
+//! Every experiment id maps to one or more [`VerbProgram`]s capturing the
+//! verbs the simulation posts — the strategies of Fig 3–5, the access
+//! patterns of Fig 6/8, the application traffic of Fig 12–19. `repro
+//! --lint <ids>` runs [`verbcheck`] over them and fails on error-severity
+//! findings; guideline warnings (W2xx) are printed but pass, because
+//! several experiments *exist* to demonstrate those anti-patterns (the
+//! basic shuffle draws W203, the random sweeps draw W202, the NUMA
+//! matrix's worst cell draws W204).
+
+use apps::{
+    dlog, hashtable, join, shuffle, DlogConfig, HtConfig, HtVariant, JoinConfig, ShuffleConfig,
+    ShuffleVariant,
+};
+use remem::Strategy;
+use rnicsim::{DeviceCaps, MrId, QpNum, RKey, Sge, VerbKind, WorkRequest, WrId};
+use verbcheck::VerbProgram;
+
+/// The deterministic page scramble the repro harness's random sweeps
+/// stand in for (Weyl-style multiplicative hash; no RNG in static code).
+fn scrambled(i: u64, slots: u64) -> u64 {
+    (i.wrapping_mul(2654435761)) % slots.max(1)
+}
+
+/// Two machines, one QP, socket-affine everywhere (the
+/// `ClusterConfig::two_machines()` + `Endpoint::affine` shape every
+/// microbenchmark uses): MR 0 on each side, sized as given.
+fn two_machines(local_len: u64, remote_len: u64) -> VerbProgram {
+    let mut p = VerbProgram::new();
+    p.mr(0, MrId(0), 1, local_len);
+    p.mr(1, MrId(0), 1, remote_len);
+    p.qp(QpNum(0), 0, 1, 1, 1);
+    p
+}
+
+fn write(id: u64, src: Sge, remote_off: u64) -> WorkRequest {
+    WorkRequest::write(id, src, RKey(0), remote_off)
+}
+
+/// Fig 1: warm latency + windowed throughput of one verb — an in-bounds
+/// write and read per payload extreme, each polled.
+fn fig1_program() -> VerbProgram {
+    let mut p = two_machines(1 << 20, 1 << 20);
+    let mut id = 0;
+    for payload in [8u64, 8192] {
+        p.post(QpNum(0), write(id, Sge::new(MrId(0), 0, payload), 0));
+        p.poll(QpNum(0), 1);
+        id += 1;
+        p.post(QpNum(0), WorkRequest::read(id, Sge::new(MrId(0), 0, payload), RKey(0), 0));
+        p.poll(QpNum(0), 1);
+        id += 1;
+    }
+    p
+}
+
+/// One `batched_write` cycle of a vector-IO strategy (Fig 3/4, Table I):
+/// Doorbell posts `batch` WRs (selectively signaled), SGL packs the batch
+/// into one WR's gather list, SP stages locally and posts one contiguous
+/// write. MR 1 on machine 0 is the SP staging buffer.
+fn strategy_program(strategy: Strategy, batch: usize, payload: u64) -> VerbProgram {
+    let mut p = two_machines(1 << 20, 1 << 22);
+    p.mr(0, MrId(1), 1, 1 << 16);
+    match strategy {
+        Strategy::Doorbell => {
+            for i in 0..batch {
+                let mut wr = write(
+                    i as u64,
+                    Sge::new(MrId(0), i as u64 * 4096, payload),
+                    i as u64 * payload,
+                );
+                wr.signaled = i + 1 == batch;
+                p.post(QpNum(0), wr);
+            }
+            p.poll(QpNum(0), 1);
+        }
+        Strategy::Sgl => {
+            let sgl: Vec<Sge> =
+                (0..batch).map(|i| Sge::new(MrId(0), i as u64 * 4096, payload)).collect();
+            p.post(
+                QpNum(0),
+                WorkRequest {
+                    wr_id: WrId(0),
+                    kind: VerbKind::Write,
+                    sgl: sgl.into(),
+                    remote: Some((RKey(0), 0)),
+                    signaled: true,
+                },
+            );
+            p.poll(QpNum(0), 1);
+        }
+        Strategy::Sp => {
+            p.post(QpNum(0), write(0, Sge::new(MrId(1), 0, batch as u64 * payload), 0));
+            p.poll(QpNum(0), 1);
+        }
+    }
+    p
+}
+
+fn strategy_programs(batch: usize, payload: u64) -> Vec<(String, VerbProgram)> {
+    Strategy::ALL
+        .iter()
+        .map(|s| {
+            (
+                format!("{}-batch{batch}", s.label().to_lowercase()),
+                strategy_program(*s, batch, payload),
+            )
+        })
+        .collect()
+}
+
+/// Fig 5: two threads sharing the NIC — one QP each, SP flushes into
+/// disjoint 64 KB slabs of the shared destination (no W101: no overlap).
+fn fig5_program() -> VerbProgram {
+    let mut p = VerbProgram::new();
+    p.mr(1, MrId(0), 1, 1 << 22);
+    for th in 0..2u64 {
+        p.mr(0, MrId(th as u32), 1, 1 << 14);
+        p.qp(QpNum(th as u32), 0, 1, 1, 1);
+        p.post(QpNum(th as u32), write(th, Sge::new(MrId(th as u32), 0, 128), th * (1 << 16)));
+        p.poll(QpNum(th as u32), 1);
+    }
+    p
+}
+
+/// Fig 6: page-sized writes over a 2 GB region — sequentially, or at
+/// scrambled page offsets (the random curve; draws W202 because the
+/// region is far beyond the MTT cache's coverage).
+fn fig6_program(sequential: bool) -> VerbProgram {
+    let region = 2u64 << 30;
+    let pages = region / 4096;
+    let mut p = two_machines(1 << 20, region);
+    for i in 0..16u64 {
+        let page = if sequential { i } else { scrambled(i, pages) };
+        p.post(QpNum(0), write(i, Sge::new(MrId(0), 0, 4096), page * 4096));
+        p.poll(QpNum(0), 1);
+    }
+    p
+}
+
+/// Fig 8, native path: skewed 32 B writes over 64 MB of 1 KB blocks —
+/// the §III-C scenario verbatim. Eight hit the hot block (W203: should
+/// consolidate), eight stride randomly (W202: beyond MTT coverage).
+fn fig8_native_program() -> VerbProgram {
+    let region = 64u64 << 20;
+    let mut p = two_machines(4096, region);
+    let mut id = 0;
+    for i in 0..8u64 {
+        p.post(QpNum(0), write(id, Sge::new(MrId(0), 0, 32), i * 32));
+        p.poll(QpNum(0), 1);
+        id += 1;
+    }
+    for i in 0..8u64 {
+        let block = scrambled(i + 1, region / 1024);
+        p.post(QpNum(0), write(id, Sge::new(MrId(0), 0, 32), block * 1024));
+        p.poll(QpNum(0), 1);
+        id += 1;
+    }
+    p
+}
+
+/// Fig 8, consolidated path (θ=16): the same traffic after absorption —
+/// a handful of whole-block flushes from the local shadow. Clean.
+fn fig8_consolidated_program() -> VerbProgram {
+    let region = 64u64 << 20;
+    let mut p = two_machines(region, region);
+    for i in 0..6u64 {
+        let block = scrambled(i, region / 1024);
+        p.post(QpNum(0), write(i, Sge::new(MrId(0), block * 1024, 1024), block * 1024));
+        p.poll(QpNum(0), 1);
+    }
+    p
+}
+
+/// Table III: a cell of the NUMA placement matrix. The worst cell puts
+/// both buffers on the socket the ports do *not* own — W204 twice per
+/// post, which is the entire point of the table.
+fn table3_program(affine: bool) -> VerbProgram {
+    let socket = if affine { 1 } else { 0 };
+    let mut p = VerbProgram::new();
+    p.mr(0, MrId(0), socket, 1 << 16);
+    p.mr(1, MrId(0), socket, 1 << 16);
+    p.qp(QpNum(0), 0, 1, 1, 1);
+    p.post(QpNum(0), write(0, Sge::new(MrId(0), 0, 64), 0));
+    p.poll(QpNum(0), 1);
+    p.post(QpNum(0), WorkRequest::read(1, Sge::new(MrId(0), 0, 64), RKey(0), 0));
+    p.poll(QpNum(0), 1);
+    p
+}
+
+/// Fig 10 / ablate-backoff: the remote spinlock (CAS acquire, write
+/// release) and sequencer (FAA) clients. Every atomic is 8-byte aligned
+/// with an 8-byte result SGL, and each op is polled before the next —
+/// the happens-before discipline the analyzer demands.
+fn atomics_program() -> VerbProgram {
+    let mut p = VerbProgram::new();
+    p.mr(0, MrId(0), 1, 64); // scratch (result + release image)
+    p.mr(1, MrId(0), 1, 64); // lock word + sequencer counter
+    p.qp(QpNum(0), 0, 1, 1, 1);
+    let mut id = 0;
+    for _ in 0..3 {
+        p.post(
+            QpNum(0),
+            WorkRequest {
+                wr_id: WrId(id),
+                kind: VerbKind::CompareSwap { expected: 0, desired: 1 },
+                sgl: Sge::new(MrId(0), 0, 8).into(),
+                remote: Some((RKey(0), 0)),
+                signaled: true,
+            },
+        );
+        p.poll(QpNum(0), 1);
+        id += 1;
+        p.post(QpNum(0), write(id, Sge::new(MrId(0), 8, 8), 0));
+        p.poll(QpNum(0), 1);
+        id += 1;
+    }
+    for _ in 0..3 {
+        p.post(
+            QpNum(0),
+            WorkRequest {
+                wr_id: WrId(id),
+                kind: VerbKind::FetchAdd { delta: 1 },
+                sgl: Sge::new(MrId(0), 0, 8).into(),
+                remote: Some((RKey(0), 8)),
+                signaled: true,
+            },
+        );
+        p.poll(QpNum(0), 1);
+        id += 1;
+    }
+    p
+}
+
+/// extra-qp-scale: four RC clients writing disjoint slots of one server
+/// region, plus a UD client using two-sided sends (no remote memory).
+fn qp_scale_program() -> VerbProgram {
+    let mut p = VerbProgram::new();
+    p.mr(7, MrId(0), 1, 1 << 20);
+    for cl in 0..4u64 {
+        p.mr(cl as usize, MrId(0), 1, 4096);
+        p.qp(QpNum(cl as u32), cl as usize, 7, 1, 1);
+        p.post(QpNum(cl as u32), write(cl, Sge::new(MrId(0), 0, 32), cl * 64));
+        p.poll(QpNum(cl as u32), 1);
+    }
+    p.mr(4, MrId(0), 1, 4096);
+    p.qp(QpNum(4), 4, 7, 1, 1);
+    p.post(
+        QpNum(4),
+        WorkRequest {
+            wr_id: WrId(100),
+            kind: VerbKind::Send,
+            sgl: Sge::new(MrId(0), 0, 32).into(),
+            remote: None,
+            signaled: true,
+        },
+    );
+    p.poll(QpNum(4), 1);
+    p
+}
+
+/// extra-mr-scale: ten 4 MB regions written round-robin. Each region
+/// individually fits the MTT cache, so the per-MR lint stays quiet even
+/// though the *combined* footprint is what the experiment measures —
+/// a scope limit recorded in DESIGN.md.
+fn mr_scale_program() -> VerbProgram {
+    let per_mr = 4u64 << 20;
+    let mut p = VerbProgram::new();
+    p.mr(0, MrId(0), 1, 4096);
+    p.qp(QpNum(0), 0, 1, 1, 1);
+    for mr in 0..10u32 {
+        p.mr(1, MrId(mr), 1, per_mr);
+    }
+    for i in 0..20u64 {
+        let mr = (i % 10) as u32;
+        let off = scrambled(i, per_mr / 32) * 32;
+        p.post(QpNum(0), WorkRequest::write(i, Sge::new(MrId(0), 0, 32), RKey(mr as u64), off));
+        p.poll(QpNum(0), 1);
+    }
+    p
+}
+
+/// extra-reg-cost: a pooled 4 KB write, then the register-on-IO-path
+/// pattern (fresh MR, one write, deregister). Registration itself is a
+/// control-path cost the event list doesn't carry; both transfers are
+/// clean verbs.
+fn reg_cost_program() -> VerbProgram {
+    let mut p = two_machines(4096, 1 << 20);
+    p.mr(0, MrId(1), 1, 4096); // the on-path registration
+    p.post(QpNum(0), write(0, Sge::new(MrId(0), 0, 4096), 0));
+    p.poll(QpNum(0), 1);
+    p.post(QpNum(0), write(1, Sge::new(MrId(1), 0, 4096), 4096));
+    p.poll(QpNum(0), 1);
+    p
+}
+
+/// extra-recovery: replaying the distributed log — sequential batch
+/// reads of the log region back into the recovering engine.
+fn recovery_replay_program() -> VerbProgram {
+    let batch_bytes = 3 * 4096u64;
+    let mut p = two_machines(1 << 20, batch_bytes * 8);
+    for i in 0..4u64 {
+        p.post(
+            QpNum(0),
+            WorkRequest::read(i, Sge::new(MrId(0), 0, batch_bytes), RKey(0), i * batch_bytes),
+        );
+        p.poll(QpNum(0), 1);
+    }
+    p
+}
+
+/// ablate-occupancy / ablate-mtt: the random 32 B write sweep those
+/// ablations re-measure under perturbed penalties — draws W202 by
+/// construction (that thrash is the mechanism being ablated).
+fn rand_write_program() -> VerbProgram {
+    let region = 2u64 << 30;
+    let mut p = two_machines(4096, region);
+    for i in 0..16u64 {
+        let off = scrambled(i, region / 4096) * 4096;
+        p.post(QpNum(0), write(i, Sge::new(MrId(0), 0, 32), off));
+        p.poll(QpNum(0), 1);
+    }
+    p
+}
+
+/// ablate-inline: repeated small writes to one slot (absorbed in place;
+/// kept under θ so the consolidation lint stays quiet).
+fn inline_program() -> VerbProgram {
+    let mut p = two_machines(4096, 1 << 20);
+    for i in 0..4u64 {
+        p.post(QpNum(0), write(i, Sge::new(MrId(0), 0, 32), 0));
+        p.poll(QpNum(0), 1);
+    }
+    p
+}
+
+/// The verb programs behind one experiment id, labeled. Empty for
+/// experiments with no verb traffic (Table II is local memory only).
+/// Panics on unknown ids, like [`crate::run_experiment`].
+pub fn programs_for(id: &str) -> Vec<(String, VerbProgram)> {
+    let named = |label: &str, p: VerbProgram| (format!("{id}/{label}"), p);
+    match id {
+        "fig1" => vec![named("write-read", fig1_program())],
+        "fig3" => {
+            strategy_programs(16, 32).into_iter().map(|(l, p)| (format!("{id}/{l}"), p)).collect()
+        }
+        "fig4" => {
+            strategy_programs(32, 32).into_iter().map(|(l, p)| (format!("{id}/{l}"), p)).collect()
+        }
+        "fig5" => vec![named("two-threads", fig5_program())],
+        "table1" => {
+            strategy_programs(32, 32).into_iter().map(|(l, p)| (format!("{id}/{l}"), p)).collect()
+        }
+        "fig6" => vec![named("seq", fig6_program(true)), named("rand", fig6_program(false))],
+        "fig8" => vec![
+            named("native", fig8_native_program()),
+            named("consolidated-theta16", fig8_consolidated_program()),
+        ],
+        "table2" => Vec::new(), // local inter-socket memory: no verbs
+        "table3" => vec![
+            named("best-placement", table3_program(true)),
+            named("worst-placement", table3_program(false)),
+        ],
+        "fig10" | "ablate-backoff" => vec![named("spinlock-sequencer", atomics_program())],
+        "fig12" | "fig13" => [
+            ("basic", HtVariant::Basic),
+            ("numa", HtVariant::Numa),
+            ("reorder16", HtVariant::Reorder { theta: 16 }),
+        ]
+        .into_iter()
+        .map(|(l, variant)| {
+            named(l, hashtable::verb_program(&HtConfig { variant, ..Default::default() }))
+        })
+        .collect(),
+        "extra-ycsb" => {
+            [("numa", HtVariant::Numa), ("reorder16", HtVariant::Reorder { theta: 16 })]
+                .into_iter()
+                .map(|(l, variant)| {
+                    named(
+                        l,
+                        hashtable::verb_program(&HtConfig {
+                            variant,
+                            write_fraction: 0.5,
+                            ..Default::default()
+                        }),
+                    )
+                })
+                .collect()
+        }
+        "fig15" => [
+            ("basic", ShuffleVariant::Basic),
+            ("sgl16", ShuffleVariant::Sgl(16)),
+            ("sp16", ShuffleVariant::Sp(16)),
+        ]
+        .into_iter()
+        .map(|(l, variant)| {
+            named(l, shuffle::verb_program(&ShuffleConfig { variant, ..Default::default() }))
+        })
+        .collect(),
+        "fig16" | "fig17" | "fig18" => [("sgl", Strategy::Sgl), ("sp", Strategy::Sp)]
+            .into_iter()
+            .map(|(l, strategy)| {
+                named(l, join::verb_program(&JoinConfig { strategy, ..Default::default() }))
+            })
+            .collect(),
+        "fig19" => [1usize, 32]
+            .into_iter()
+            .map(|batch| {
+                named(
+                    &format!("batch{batch}"),
+                    dlog::verb_program(&DlogConfig { batch, ..Default::default() }),
+                )
+            })
+            .collect(),
+        "extra-mr-scale" => vec![named("round-robin", mr_scale_program())],
+        "extra-qp-scale" => vec![named("rc-and-ud", qp_scale_program())],
+        "extra-recovery" => vec![
+            named("append", dlog::verb_program(&DlogConfig { batch: 1, ..Default::default() })),
+            named("replay", recovery_replay_program()),
+        ],
+        "extra-reg-cost" => vec![named("pooled-vs-onpath", reg_cost_program())],
+        "ablate-occupancy" | "ablate-mtt" => vec![named("rand-write", rand_write_program())],
+        "ablate-inline" => vec![named("small-write", inline_program())],
+        other => panic!("unknown experiment id {other:?}; known: {:?}", crate::ALL_IDS),
+    }
+}
+
+/// Outcome of linting a set of experiment ids.
+pub struct LintReport {
+    /// Programs analyzed.
+    pub programs: usize,
+    /// Warning-severity findings.
+    pub warnings: usize,
+    /// Error-severity findings (a non-empty count fails the gate).
+    pub errors: usize,
+    /// Rendered diagnostics plus the per-id status lines.
+    pub rendered: String,
+}
+
+/// Analyze every program of every id against the default device
+/// capabilities (the geometry the testbed simulates).
+pub fn lint_ids(ids: &[String]) -> LintReport {
+    use std::fmt::Write as _;
+    let caps = DeviceCaps::default();
+    let mut report = LintReport { programs: 0, warnings: 0, errors: 0, rendered: String::new() };
+    for id in ids {
+        let programs = programs_for(id);
+        if programs.is_empty() {
+            let _ = writeln!(report.rendered, "{id}: no verb traffic");
+            continue;
+        }
+        for (label, prog) in programs {
+            report.programs += 1;
+            let diags = verbcheck::analyze(&prog, &caps);
+            let (e, w): (Vec<_>, Vec<_>) =
+                diags.iter().partition(|d| d.severity() == verbcheck::Severity::Error);
+            report.errors += e.len();
+            report.warnings += w.len();
+            let status = if !e.is_empty() {
+                format!("{} error(s), {} warning(s)", e.len(), w.len())
+            } else if !w.is_empty() {
+                format!("{} warning(s)", w.len())
+            } else {
+                "clean".into()
+            };
+            let _ = writeln!(report.rendered, "{label} ({} posts): {status}", prog.post_count());
+            for d in &diags {
+                for line in d.render().lines() {
+                    let _ = writeln!(report.rendered, "  {line}");
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verbcheck::{analyze, has_errors, Code};
+
+    fn codes(p: &VerbProgram) -> Vec<Code> {
+        analyze(p, &DeviceCaps::default()).iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn every_experiment_id_has_lint_coverage() {
+        for id in crate::ALL_IDS {
+            let programs = programs_for(id);
+            assert!(!programs.is_empty() || *id == "table2", "{id} has no lint program");
+        }
+    }
+
+    #[test]
+    fn no_experiment_program_has_errors() {
+        let caps = DeviceCaps::default();
+        for id in crate::ALL_IDS {
+            for (label, prog) in programs_for(id) {
+                let diags = analyze(&prog, &caps);
+                assert!(
+                    !has_errors(&diags),
+                    "{label}: {}",
+                    diags.iter().map(|d| d.render()).collect::<String>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn intentional_anti_patterns_draw_their_lints() {
+        assert!(codes(&fig6_program(false)).contains(&Code::W202), "random sweep → W202");
+        assert!(codes(&fig6_program(true)).is_empty(), "sequential sweep is clean");
+        let native = codes(&fig8_native_program());
+        assert!(native.contains(&Code::W203), "native fig8 → consolidate");
+        assert!(native.contains(&Code::W202), "native fig8 thrashes the MTT");
+        assert!(codes(&fig8_consolidated_program()).is_empty());
+        assert_eq!(codes(&table3_program(false)), vec![Code::W204; 4]);
+        assert!(codes(&table3_program(true)).is_empty());
+        assert!(codes(&atomics_program()).is_empty(), "atomics are aligned and polled");
+    }
+
+    #[test]
+    fn doorbell_strategy_draws_consolidation_but_sgl_and_sp_are_clean() {
+        assert_eq!(codes(&strategy_program(Strategy::Doorbell, 16, 32)), vec![Code::W203]);
+        assert!(codes(&strategy_program(Strategy::Sgl, 32, 32)).is_empty());
+        assert!(codes(&strategy_program(Strategy::Sp, 32, 32)).is_empty());
+    }
+
+    #[test]
+    fn lint_report_over_all_ids_is_error_free() {
+        let ids: Vec<String> = crate::ALL_IDS.iter().map(|s| s.to_string()).collect();
+        let report = lint_ids(&ids);
+        assert_eq!(report.errors, 0, "{}", report.rendered);
+        assert!(report.programs > 30, "expected broad coverage, got {}", report.programs);
+        assert!(report.warnings > 0, "the anti-pattern demos should warn");
+    }
+}

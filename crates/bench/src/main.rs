@@ -9,6 +9,7 @@
 //! repro all --serial        # one worker (same output, more wall-clock)
 //! repro all --bench-json BENCH_engine.json   # machine-readable timings
 //! repro --check-determinism # prove serial and parallel runs agree
+//! repro --lint all          # static verb analysis instead of running
 //! ```
 //!
 //! Experiments are independent deterministic simulations, so the runner
@@ -86,16 +87,16 @@ fn bench_json(runs: &[GroupRun], total_wall_ms: f64, jobs: usize) -> String {
 fn check_determinism(scale: Scale) {
     let ids = ["table1", "table2"];
     set_parallelism(Some(1));
-    let serial: Vec<GroupRun> =
-        ids.iter().map(|id| run_group(id.to_string(), scale)).collect();
+    let serial: Vec<GroupRun> = ids.iter().map(|id| run_group(id.to_string(), scale)).collect();
     set_parallelism(None);
-    let parallel = par_map(
-        ids.iter().map(|id| id.to_string()).collect(),
-        |id| run_group(id, scale),
-    );
+    let parallel =
+        par_map(ids.iter().map(|id| id.to_string()).collect(), |id| run_group(id, scale));
     let (a, b) = (render_all(&serial), render_all(&parallel));
     if a == b {
-        println!("determinism check passed: serial and parallel output identical ({} bytes)", a.len());
+        println!(
+            "determinism check passed: serial and parallel output identical ({} bytes)",
+            a.len()
+        );
     } else {
         eprintln!("determinism check FAILED: serial and parallel output differ");
         for (ls, lp) in a.lines().zip(b.lines()) {
@@ -114,6 +115,7 @@ fn main() {
     let mut out_dir: Option<PathBuf> = None;
     let mut json_path: Option<PathBuf> = None;
     let mut do_check = false;
+    let mut do_lint = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -131,6 +133,7 @@ fn main() {
                 set_parallelism(Some(n));
             }
             "--check-determinism" => do_check = true,
+            "--lint" => do_lint = true,
             "--bench-json" => {
                 json_path = Some(PathBuf::from(args.next().unwrap_or_else(|| {
                     eprintln!("--bench-json needs a file path");
@@ -148,7 +151,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [all | micro | <id>...] [--paper-scale] [--out DIR] \
-                     [--serial | --jobs N] [--bench-json PATH] [--check-determinism]"
+                     [--serial | --jobs N] [--bench-json PATH] [--check-determinism] [--lint]"
                 );
                 println!("ids: {ALL_IDS:?}");
                 return;
@@ -165,6 +168,21 @@ fn main() {
     if ids.is_empty() {
         eprintln!("nothing to do; try `repro all` (ids: {ALL_IDS:?})");
         std::process::exit(2);
+    }
+    if do_lint {
+        // Static verb analysis of the experiments' posting patterns:
+        // print every finding, fail only on error severity (the W2xx
+        // guideline lints are demonstrations, not regressions).
+        let report = bench::lint::lint_ids(&ids);
+        print!("{}", report.rendered);
+        println!(
+            "lint: {} program(s), {} warning(s), {} error(s)",
+            report.programs, report.warnings, report.errors
+        );
+        if report.errors > 0 {
+            std::process::exit(1);
+        }
+        return;
     }
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");

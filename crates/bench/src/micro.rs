@@ -16,10 +16,7 @@ fn pair(region_bytes: u64, backed: bool) -> (Testbed, MrId, MrId, ConnId) {
     let (src, dst) = if backed {
         (tb.register(0, 1, region_bytes), tb.register(1, 1, region_bytes))
     } else {
-        (
-            tb.register_unbacked(0, 1, region_bytes),
-            tb.register_unbacked(1, 1, region_bytes),
-        )
+        (tb.register_unbacked(0, 1, region_bytes), tb.register_unbacked(1, 1, region_bytes))
     };
     let conn = tb.connect(Endpoint::affine(0, 1), Endpoint::affine(1, 1));
     (tb, src, dst, conn)
@@ -115,8 +112,7 @@ fn strategy_mops(strategy: Strategy, batch: usize, payload: u64, cycles: u64) ->
     let staging = tb.register(0, 1, 1 << 16);
     let dst = tb.register_unbacked(1, 1, 1 << 22);
     let conn = tb.connect(Endpoint::affine(0, 1), Endpoint::affine(1, 1));
-    let bufs: Vec<Sge> =
-        (0..batch).map(|i| Sge::new(src, i as u64 * 4096, payload)).collect();
+    let bufs: Vec<Sge> = (0..batch).map(|i| Sge::new(src, i as u64 * 4096, payload)).collect();
     let rdst = RemoteDst::Contiguous(RKey(dst.0 as u64), 0);
     let mut t = SimTime::ZERO;
     let mut first_done = SimTime::ZERO;
@@ -156,8 +152,7 @@ pub fn fig3() -> Vec<Experiment> {
         title: "Batch strategies vs payload size (1:1 connection)".into(),
         output: Output::Series { x: "size(B)".into(), y: "MOPS".into(), series },
         notes: vec![
-            "paper: curves flat below ~128B; SGL/SP decline as payload grows; Doorbell flat"
-                .into(),
+            "paper: curves flat below ~128B; SGL/SP decline as payload grows; Doorbell flat".into(),
         ],
     }]
 }
@@ -212,10 +207,8 @@ pub fn fig5() -> Vec<Experiment> {
                 let src = tb.register_unbacked(0, 1, 1 << 20);
                 let staging = tb.register(0, 1, 1 << 14);
                 let conn = tb.connect(Endpoint::affine(0, 1), Endpoint::affine(1, 1));
-                let bufs: Vec<Sge> =
-                    (0..4).map(|i| Sge::new(src, i as u64 * 4096, 32)).collect();
-                let rdst =
-                    RemoteDst::Contiguous(RKey(dst.0 as u64), th as u64 * (1 << 16));
+                let bufs: Vec<Sge> = (0..4).map(|i| Sge::new(src, i as u64 * 4096, 32)).collect();
+                let rdst = RemoteDst::Contiguous(RKey(dst.0 as u64), th as u64 * (1 << 16));
                 loops.push(ClosedLoop::new(1, cycles_per, move |tb: &mut Testbed, now, _| {
                     batched_write(tb, now, conn, strategy, &bufs, Some(staging), &rdst).done
                 }));
@@ -261,7 +254,11 @@ pub fn table1() -> Vec<Experiment> {
     let sgl_big = strategy_mops(Strategy::Sgl, 16, 1024, 300);
     let sp_big = strategy_mops(Strategy::Sp, 16, 1024, 300);
     let mut t = String::new();
-    let _ = writeln!(t, "{:<10} {:<16} {:<28} {:<30}", "Type", "Programmability", "Performance", "Scalability");
+    let _ = writeln!(
+        t,
+        "{:<10} {:<16} {:<28} {:<30}",
+        "Type", "Programmability", "Performance", "Scalability"
+    );
     let _ = writeln!(
         t,
         "{:<10} {:<16} {:<28} {:<30}",
@@ -338,14 +335,17 @@ fn pattern_mops(
 /// the registered-region-size sweep; (c) comes from the memmodel probe.
 pub fn fig6() -> Vec<Experiment> {
     let region = 2u64 << 30;
-    let payloads: [u64; 14] =
-        [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192];
-    let combos = [("rand-rand", false, false), ("rand-seq", false, true), ("seq-rand", true, false), ("seq-seq", true, true)];
+    let payloads: [u64; 14] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192];
+    let combos = [
+        ("rand-rand", false, false),
+        ("rand-seq", false, true),
+        ("seq-rand", true, false),
+        ("seq-seq", true, true),
+    ];
     let mut out = Vec::new();
-    for (id, kind, title) in [
-        ("fig6a", VerbKind::Read, "RDMA Read"),
-        ("fig6b", VerbKind::Write, "RDMA Write"),
-    ] {
+    for (id, kind, title) in
+        [("fig6a", VerbKind::Read, "RDMA Read"), ("fig6b", VerbKind::Write, "RDMA Write")]
+    {
         let mut series = Vec::new();
         for (label, lseq, rseq) in combos {
             let prefix = if matches!(kind, VerbKind::Read) { "read" } else { "write" };
@@ -361,7 +361,10 @@ pub fn fig6() -> Vec<Experiment> {
             id,
             title: format!("{title}: seq vs rand (2 GB registered region)"),
             output: Output::Series { x: "size(B)".into(), y: "MOPS".into(), series },
-            notes: vec![format!("seq-seq/rand-rand at 32B: {:.2}x (paper: >2x for writes)", ss / rr)],
+            notes: vec![format!(
+                "seq-seq/rand-rand at 32B: {:.2}x (paper: >2x for writes)",
+                ss / rr
+            )],
         });
     }
     // (c) local DRAM, straight from the host model.
@@ -398,8 +401,9 @@ pub fn fig6() -> Vec<Experiment> {
     let flat4m = series[0].y_at(1.0).expect("rand at 4M") / series[3].y_at(1.0).expect("seq at 4M");
     out.push(Experiment {
         id: "fig6d",
-        title: "Write 32 B: seq vs rand across registered-region sizes (x: 4K,4M,16M,64M,256M,1G,4G)"
-            .into(),
+        title:
+            "Write 32 B: seq vs rand across registered-region sizes (x: 4K,4M,16M,64M,256M,1G,4G)"
+                .into(),
         output: Output::Series { x: "size-idx".into(), y: "MOPS".into(), series },
         notes: vec![format!(
             "paper: <4MB regions show <1% seq/rand difference; measured rand/seq at 4M = {:.3}",
@@ -430,8 +434,12 @@ pub fn fig8() -> Vec<Experiment> {
         let mut cl = ClosedLoop::new(16, ops, move |tb: &mut Testbed, now, i| {
             let block = z.scrambled_key(&mut rng);
             let off = block * 1024 + rng.gen_range(32) * 32;
-            tb.post_one(now, conn, WorkRequest::write(i, Sge::new(src, 0, 32), RKey(dst.0 as u64), off))
-                .at
+            tb.post_one(
+                now,
+                conn,
+                WorkRequest::write(i, Sge::new(src, 0, 32), RKey(dst.0 as u64), off),
+            )
+            .at
         });
         {
             let mut clients: Vec<Box<dyn Client + '_>> = vec![Box::new(&mut cl)];
@@ -504,8 +512,20 @@ pub fn table2() -> Vec<Experiment> {
     let (local, remote) = memmodel::table2(&HostMemConfig::default());
     let mut t = String::new();
     let _ = writeln!(t, "{:<16} {:>14} {:>16}", "Type", "Latency (ns)", "Bandwidth (GB/s)");
-    let _ = writeln!(t, "{:<16} {:>14.0} {:>16.2}", "local socket", local.latency.as_ns(), local.bandwidth_gbs);
-    let _ = writeln!(t, "{:<16} {:>14.0} {:>16.2}", "remote socket", remote.latency.as_ns(), remote.bandwidth_gbs);
+    let _ = writeln!(
+        t,
+        "{:<16} {:>14.0} {:>16.2}",
+        "local socket",
+        local.latency.as_ns(),
+        local.bandwidth_gbs
+    );
+    let _ = writeln!(
+        t,
+        "{:<16} {:>14.0} {:>16.2}",
+        "remote socket",
+        remote.latency.as_ns(),
+        remote.bandwidth_gbs
+    );
     vec![Experiment {
         id: "table2",
         title: "Throughput/latency of local inter-socket access".into(),
@@ -538,8 +558,10 @@ pub fn table3() -> Vec<Experiment> {
             run_clients(&mut tb, &mut clients, SimTime::MAX);
         }
         let comps = cl.completions();
-        let mops =
-            simcore::mops(ops - ops / 5 - 1, *comps.last().expect("ops") - comps[(ops / 5) as usize]);
+        let mops = simcore::mops(
+            ops - ops / 5 - 1,
+            *comps.last().expect("ops") - comps[(ops / 5) as usize],
+        );
         (lat, mops)
     };
     let mut t = String::new();
@@ -557,7 +579,8 @@ pub fn table3() -> Vec<Experiment> {
         for kind in [VerbKind::Read, VerbKind::Write] {
             let (l_own, m_own) = cell(&kind, own_core, own_lmem, true);
             let (l_alt, m_alt) = cell(&kind, own_core, own_lmem, false);
-            let name = if matches!(kind, VerbKind::Read) { row.to_string() } else { "  (write)".into() };
+            let name =
+                if matches!(kind, VerbKind::Read) { row.to_string() } else { "  (write)".into() };
             let _ = writeln!(
                 t,
                 "{:<26} {:>12.2}/{:<7.2} {:>12.2}/{:<7.2}",
@@ -595,16 +618,19 @@ pub fn extra_mr_scale() -> Vec<Experiment> {
     for &mrs in &[1usize, 2, 4, 8, 10, 16, 32] {
         let mut tb = Testbed::new(ClusterConfig::two_machines());
         let src = tb.register(0, 1, 4096);
-        let regions: Vec<MrId> =
-            (0..mrs).map(|_| tb.register_unbacked(1, 1, per_mr)).collect();
+        let regions: Vec<MrId> = (0..mrs).map(|_| tb.register_unbacked(1, 1, per_mr)).collect();
         let conn = tb.connect(Endpoint::affine(0, 1), Endpoint::affine(1, 1));
         let mut rng = SimRng::new(5);
         let ops = 6000u64;
         let mut cl = ClosedLoop::new(8, ops, move |tb: &mut Testbed, now, i| {
             let mr = regions[(i % mrs as u64) as usize];
             let off = rng.gen_range(per_mr / 32) * 32;
-            tb.post_one(now, conn, WorkRequest::write(i, Sge::new(src, 0, 32), RKey(mr.0 as u64), off))
-                .at
+            tb.post_one(
+                now,
+                conn,
+                WorkRequest::write(i, Sge::new(src, 0, 32), RKey(mr.0 as u64), off),
+            )
+            .at
         });
         {
             let mut clients: Vec<Box<dyn Client + '_>> = vec![Box::new(&mut cl)];
@@ -618,8 +644,7 @@ pub fn extra_mr_scale() -> Vec<Experiment> {
     let ten = s.y_at(10.0).expect("10 MRs");
     vec![Experiment {
         id: "extra-mr-scale",
-        title: "§II-B2 extension: 32 B write throughput vs registered MR count (4 MB each)"
-            .into(),
+        title: "§II-B2 extension: 32 B write throughput vs registered MR count (4 MB each)".into(),
         output: Output::Series { x: "MRs".into(), y: "MOPS".into(), series: vec![s] },
         notes: vec![format!(
             "paper: 10x MRs degrade 32 B access performance by ~60%; measured -{:.0}%",
@@ -709,13 +734,9 @@ pub fn extra_qp_scale() -> Vec<Experiment> {
 /// using a pre-registered pool.
 pub fn extra_reg_cost() -> Vec<Experiment> {
     let mut reg = Series::new("registration latency");
-    for (xi, bytes) in [
-        (0.0, 4u64 << 10),
-        (1.0, 64 << 10),
-        (2.0, 1 << 20),
-        (3.0, 16 << 20),
-        (4.0, 64 << 20),
-    ] {
+    for (xi, bytes) in
+        [(0.0, 4u64 << 10), (1.0, 64 << 10), (2.0, 1 << 20), (3.0, 16 << 20), (4.0, 64 << 20)]
+    {
         let mut tb = Testbed::new(ClusterConfig::two_machines());
         let (_, done) = tb.register_timed(SimTime::ZERO, 0, 1, bytes);
         reg.push(xi, done.as_us());
@@ -732,12 +753,20 @@ pub fn extra_reg_cost() -> Vec<Experiment> {
         WorkRequest::write(0, Sge::new(pool, 0, 4096), RKey(dst.0 as u64), 0),
     );
     // Pre-registered: just the transfer.
-    let pre = tb.post_one(warm.at, conn, WorkRequest::write(1, Sge::new(pool, 0, 4096), RKey(dst.0 as u64), 0));
+    let pre = tb.post_one(
+        warm.at,
+        conn,
+        WorkRequest::write(1, Sge::new(pool, 0, 4096), RKey(dst.0 as u64), 0),
+    );
     let pre_lat = pre.at - warm.at;
     // On-path: register, transfer, deregister (the naive pattern).
     let t0 = pre.at;
     let (buf, ready) = tb.register_timed(t0, 0, 1, 4096);
-    let c = tb.post_one(ready, conn, WorkRequest::write(2, Sge::new(buf, 0, 4096), RKey(dst.0 as u64), 0));
+    let c = tb.post_one(
+        ready,
+        conn,
+        WorkRequest::write(2, Sge::new(buf, 0, 4096), RKey(dst.0 as u64), 0),
+    );
     let done = tb.deregister_timed(c.at, 0, buf);
     let onpath_lat = done - t0;
 
@@ -750,7 +779,11 @@ pub fn extra_reg_cost() -> Vec<Experiment> {
             title: "Related-work [17] extension: registration latency vs region size \
                     (x: 4K,64K,1M,16M,64M)"
                 .into(),
-            output: Output::Series { x: "size-idx".into(), y: "latency(us)".into(), series: vec![reg] },
+            output: Output::Series {
+                x: "size-idx".into(),
+                y: "latency(us)".into(),
+                series: vec![reg],
+            },
             notes: vec!["pinning is per-page: registration cost scales with region size".into()],
         },
         Experiment {

@@ -86,10 +86,7 @@ impl Experiment {
         self.render()
             .lines()
             .map(|l| {
-                let is_data = l
-                    .split_whitespace()
-                    .next()
-                    .is_some_and(|w| w.parse::<f64>().is_ok());
+                let is_data = l.split_whitespace().next().is_some_and(|w| w.parse::<f64>().is_ok());
                 if is_data || l.starts_with('#') || l.is_empty() {
                     format!("{l}\n")
                 } else {

@@ -236,8 +236,9 @@ mod tests {
         ];
         run_clients(&mut tb, &mut clients, SimTime::MAX);
         let log = log.borrow();
-        let expected: Vec<(SimTime, usize)> =
-            (0..=4).flat_map(|k| [(SimTime::from_ns(50 * k), 0), (SimTime::from_ns(50 * k), 1)]).collect();
+        let expected: Vec<(SimTime, usize)> = (0..=4)
+            .flat_map(|k| [(SimTime::from_ns(50 * k), 0), (SimTime::from_ns(50 * k), 1)])
+            .collect();
         assert_eq!(*log, expected);
     }
 

@@ -72,6 +72,14 @@ impl MemoryPool {
         self.regions.len()
     }
 
+    /// All live regions in ascending MR-id order (deterministic — the
+    /// static checker declares them into a [`verbcheck::VerbProgram`]).
+    pub fn iter(&self) -> impl Iterator<Item = (MrId, &Region)> {
+        let mut ids: Vec<MrId> = self.regions.keys().copied().collect();
+        ids.sort_by_key(|id| id.0);
+        ids.into_iter().map(move |id| (id, &self.regions[&id]))
+    }
+
     /// Bounds check a span.
     pub fn check(&self, mr: MrId, offset: u64, len: u64) -> bool {
         match self.regions.get(&mr) {

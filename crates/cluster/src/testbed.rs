@@ -92,6 +92,9 @@ pub struct Testbed {
     cqe_scratch: Vec<Completion>,
     /// Reused gather/scatter staging buffer for data effects.
     data_scratch: Vec<u8>,
+    /// When set, every doorbell batch is statically checked before it is
+    /// simulated; error-severity findings panic (see [`Testbed::set_checked`]).
+    checked: bool,
 }
 
 impl Testbed {
@@ -111,6 +114,7 @@ impl Testbed {
             conns: Vec::new(),
             cqe_scratch: Vec::new(),
             data_scratch: Vec::new(),
+            checked: false,
         }
     }
 
@@ -217,6 +221,63 @@ impl Testbed {
         self.conns[conn.0 as usize].server
     }
 
+    /// Enable or disable *checked posting*: when on, every doorbell batch
+    /// is run through the [`verbcheck`] static analyzer before it touches
+    /// the simulated hardware, and any error-severity finding (E001–E004)
+    /// panics with the rendered diagnostics. Warnings are ignored here —
+    /// use [`Testbed::check_program`] to see them.
+    pub fn set_checked(&mut self, on: bool) {
+        self.checked = on;
+    }
+
+    /// The queue-pair number a connection carries inside a
+    /// [`verbcheck::VerbProgram`]: the connection id itself, which (unlike
+    /// per-machine hardware QPNs) is unique across the whole testbed.
+    pub fn program_qp(&self, conn: ConnId) -> QpNum {
+        QpNum(conn.0)
+    }
+
+    /// A [`verbcheck::VerbProgram`] with this testbed's geometry declared
+    /// — every registered MR on every machine, and one QP per connection
+    /// (numbered by [`Testbed::program_qp`]) — but no events yet. Apps
+    /// append their posts/polls to this to make themselves analyzable.
+    pub fn program_skeleton(&self) -> verbcheck::VerbProgram {
+        let mut p = verbcheck::VerbProgram::new();
+        for (m, machine) in self.machines.iter().enumerate() {
+            for (mr, region) in machine.mem.iter() {
+                p.mr(m, mr, region.socket, region.len);
+            }
+        }
+        for (i, c) in self.conns.iter().enumerate() {
+            p.qp(
+                QpNum(i as u32),
+                c.client.machine,
+                c.server.machine,
+                self.cfg.port_socket(c.client.port),
+                self.cfg.port_socket(c.server.port),
+            );
+        }
+        p
+    }
+
+    /// Statically analyze a verb program against this testbed's device
+    /// capabilities. Returns diagnostics in event order.
+    pub fn check_program(&self, prog: &verbcheck::VerbProgram) -> Vec<verbcheck::Diagnostic> {
+        verbcheck::analyze(prog, &self.cfg.rnic.caps())
+    }
+
+    /// Statically analyze one doorbell batch as a standalone program:
+    /// the testbed's declarations plus one post per WR on `conn`. This is
+    /// what checked mode runs before simulating a batch.
+    pub fn check_batch(&self, conn: ConnId, wrs: &[WorkRequest]) -> Vec<verbcheck::Diagnostic> {
+        let mut p = self.program_skeleton();
+        let qp = self.program_qp(conn);
+        for wr in wrs {
+            p.post(qp, wr.clone());
+        }
+        self.check_program(&p)
+    }
+
     /// Post a doorbell batch of work requests on `conn` at time `now`
     /// (client → server direction). Returns a completion per *signaled*
     /// WR, in posting order. Data effects are applied to simulated memory.
@@ -240,6 +301,13 @@ impl Testbed {
         completions: &mut Vec<Completion>,
     ) {
         assert!(!wrs.is_empty(), "empty doorbell batch");
+        if self.checked {
+            let diags = self.check_batch(conn, wrs);
+            if verbcheck::has_errors(&diags) {
+                let rendered: String = diags.iter().map(verbcheck::Diagnostic::render).collect();
+                panic!("checked post rejected the batch:\n{rendered}");
+            }
+        }
         simcore::opcount::add(wrs.len() as u64);
         let c = &self.conns[conn.0 as usize];
         let (client, server) = (c.client, c.server);
@@ -302,8 +370,7 @@ impl Testbed {
                 misses += cm.rnic.mtt_touch(sge.mr, sge.offset, sge.len);
             }
             let stall = cm.rnic.qpc_touch(client_qpn) + cfg.rnic.mtt_miss_occupancy * misses;
-            let miss_lat =
-                (cfg.rnic.mtt_miss_penalty - cfg.rnic.mtt_miss_occupancy) * misses;
+            let miss_lat = (cfg.rnic.mtt_miss_penalty - cfg.rnic.mtt_miss_occupancy) * misses;
             let service = match wr.kind {
                 VerbKind::Read => cfg.rnic.read_service,
                 _ => cfg.rnic.write_service,
@@ -319,8 +386,7 @@ impl Testbed {
                 let mr = MrId(rkey.0 as u32);
                 let r_misses = sm.rnic.mtt_touch(mr, off, payload);
                 r_stall += cfg.rnic.mtt_miss_occupancy * r_misses;
-                r_miss_lat =
-                    (cfg.rnic.mtt_miss_penalty - cfg.rnic.mtt_miss_occupancy) * r_misses;
+                r_miss_lat = (cfg.rnic.mtt_miss_penalty - cfg.rnic.mtt_miss_occupancy) * r_misses;
                 sm.mem.region(mr).expect("validated").socket
             });
             if remote_region_socket.is_some_and(|s| s != server_port_socket) {
@@ -368,8 +434,7 @@ impl Testbed {
                     match transport {
                         // RC: the ACK round trip defines completion.
                         Transport::Rc => {
-                            let ack_depart =
-                                sm.rnic.wire_out(server.port, rx_done.max(placed), 0);
+                            let ack_depart = sm.rnic.wire_out(server.port, rx_done.max(placed), 0);
                             let ack_arrive = cm.rnic.deliver(client.port, ack_depart, 0);
                             (ack_arrive + cfg.rnic.ack_fixed, 0)
                         }
@@ -551,8 +616,16 @@ fn validate(cm: &Machine, sm: &Machine, wr: &WorkRequest) -> Option<CqeStatus> {
                 if !sm.mem.check(mr, off, len) {
                     return Some(CqeStatus::RemoteAccessError);
                 }
-                if wr.kind.is_atomic() && !sm.mem.region(mr).expect("checked").is_backed() {
-                    return Some(CqeStatus::RemoteAccessError);
+                if wr.kind.is_atomic() {
+                    // Real RNICs fault CAS/FAA on targets that are not
+                    // aligned 8-byte words (§III-E) — enforce it in the
+                    // dynamic path too, not just in verbcheck.
+                    if off % 8 != 0 {
+                        return Some(CqeStatus::MisalignedAtomic);
+                    }
+                    if !sm.mem.region(mr).expect("checked").is_backed() {
+                        return Some(CqeStatus::RemoteAccessError);
+                    }
                 }
                 None
             }
@@ -580,7 +653,7 @@ fn scatter_bytes(m: &mut Machine, wr: &WorkRequest, data: &[u8]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rnicsim::{RKey, Sge, VerbKind, WrId, WorkRequest};
+    use rnicsim::{RKey, Sge, VerbKind, WorkRequest, WrId};
 
     fn setup() -> (Testbed, MrId, MrId, ConnId) {
         let mut tb = Testbed::new(ClusterConfig::two_machines());
@@ -701,6 +774,81 @@ mod tests {
     }
 
     #[test]
+    fn misaligned_atomic_yields_its_own_error_cqe() {
+        let (mut tb, src, dst, conn) = setup();
+        tb.machine_mut(1).mem.store_u64(dst, 0, 55);
+        let mk = |wr_id, off| WorkRequest {
+            wr_id: WrId(wr_id),
+            kind: VerbKind::FetchAdd { delta: 1 },
+            sgl: Sge::new(src, 0, 8).into(),
+            remote: Some((rkey(dst), off)),
+            signaled: true,
+        };
+        // Offsets 1..7 all fault; the target word is untouched.
+        for off in 1..8u64 {
+            let cqe = tb.post_one(SimTime::ZERO, conn, mk(off, off));
+            assert_eq!(cqe.status, CqeStatus::MisalignedAtomic, "offset {off}");
+        }
+        assert_eq!(tb.machine(1).mem.load_u64(dst, 0), 55);
+        // Aligned offsets succeed.
+        let ok = tb.post_one(SimTime::ZERO, conn, mk(99, 0));
+        assert_eq!(ok.status, CqeStatus::Success);
+        assert_eq!(tb.machine(1).mem.load_u64(dst, 0), 56);
+    }
+
+    #[test]
+    fn checked_mode_accepts_clean_batches() {
+        let (mut tb, src, dst, conn) = setup();
+        tb.set_checked(true);
+        let cqe = tb.post_one(
+            SimTime::ZERO,
+            conn,
+            WorkRequest::write(1, Sge::new(src, 0, 64), rkey(dst), 0),
+        );
+        assert_eq!(cqe.status, CqeStatus::Success);
+    }
+
+    #[test]
+    #[should_panic(expected = "E001")]
+    fn checked_mode_panics_on_out_of_bounds_batches() {
+        let (mut tb, src, dst, conn) = setup();
+        tb.set_checked(true);
+        tb.post_one(
+            SimTime::ZERO,
+            conn,
+            WorkRequest::write(1, Sge::new(src, 0, 64), rkey(dst), (1 << 20) - 10),
+        );
+    }
+
+    #[test]
+    fn check_batch_reports_without_simulating() {
+        let (tb, src, dst, _conn) = setup();
+        let wr = WorkRequest {
+            wr_id: WrId(1),
+            kind: VerbKind::FetchAdd { delta: 1 },
+            sgl: Sge::new(src, 0, 8).into(),
+            remote: Some((rkey(dst), 12)),
+            signaled: true,
+        };
+        let diags = tb.check_batch(ConnId(0), &[wr]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, verbcheck::Code::E002);
+    }
+
+    #[test]
+    fn program_skeleton_declares_the_testbed_geometry() {
+        let (tb, src, _dst, conn) = setup();
+        let p = tb.program_skeleton();
+        assert_eq!(p.mrs().len(), 2);
+        assert_eq!(p.qps().len(), 1);
+        assert_eq!(p.find_mr(0, src).unwrap().len, 1 << 20);
+        let qp = p.find_qp(tb.program_qp(conn)).unwrap();
+        assert_eq!((qp.local_machine, qp.remote_machine), (0, 1));
+        // Endpoint::affine(_, 1) puts both ports on socket 1.
+        assert_eq!((qp.local_port_socket, qp.remote_port_socket), (1, 1));
+    }
+
+    #[test]
     fn atomic_on_unbacked_region_is_rejected() {
         let (mut tb, src, _dst, conn) = setup();
         let big = tb.register_unbacked(1, 0, 1 << 30);
@@ -751,13 +899,27 @@ mod tests {
             Endpoint { machine: 0, port: 1, core_socket: 0 },
             Endpoint { machine: 1, port: 1, core_socket: 0 },
         );
-        let warm_g =
-            tb.post_one(SimTime::ZERO, good, WorkRequest::write(0, Sge::new(src_good, 0, 8), rkey(dst_good), 0));
-        let g = tb.post_one(warm_g.at, good, WorkRequest::write(1, Sge::new(src_good, 0, 8), rkey(dst_good), 0));
+        let warm_g = tb.post_one(
+            SimTime::ZERO,
+            good,
+            WorkRequest::write(0, Sge::new(src_good, 0, 8), rkey(dst_good), 0),
+        );
+        let g = tb.post_one(
+            warm_g.at,
+            good,
+            WorkRequest::write(1, Sge::new(src_good, 0, 8), rkey(dst_good), 0),
+        );
         let lat_good = g.at - warm_g.at;
-        let warm_b =
-            tb.post_one(g.at, bad, WorkRequest::write(2, Sge::new(src_bad, 0, 8), rkey(dst_bad), 0));
-        let b = tb.post_one(warm_b.at, bad, WorkRequest::write(3, Sge::new(src_bad, 0, 8), rkey(dst_bad), 0));
+        let warm_b = tb.post_one(
+            g.at,
+            bad,
+            WorkRequest::write(2, Sge::new(src_bad, 0, 8), rkey(dst_bad), 0),
+        );
+        let b = tb.post_one(
+            warm_b.at,
+            bad,
+            WorkRequest::write(3, Sge::new(src_bad, 0, 8), rkey(dst_bad), 0),
+        );
         let lat_bad = b.at - warm_b.at;
         let extra = lat_bad.as_ns() / lat_good.as_ns() - 1.0;
         // Worst placement costs ~50 % extra on a small write (§III-D).
@@ -767,8 +929,13 @@ mod tests {
     #[test]
     fn rpc_is_slower_than_one_sided_write() {
         let (mut tb, src, dst, conn) = setup();
-        let warm = tb.post_one(SimTime::ZERO, conn, WorkRequest::write(0, Sge::new(src, 0, 32), rkey(dst), 0));
-        let w = tb.post_one(warm.at, conn, WorkRequest::write(1, Sge::new(src, 0, 32), rkey(dst), 0));
+        let warm = tb.post_one(
+            SimTime::ZERO,
+            conn,
+            WorkRequest::write(0, Sge::new(src, 0, 32), rkey(dst), 0),
+        );
+        let w =
+            tb.post_one(warm.at, conn, WorkRequest::write(1, Sge::new(src, 0, 32), rkey(dst), 0));
         let one_sided = w.at - warm.at;
         let t0 = w.at;
         let done = tb.rpc_call(t0, conn, 32, 32, SimTime::from_ns(100));
@@ -821,7 +988,7 @@ mod tests {
 #[cfg(test)]
 mod transport_tests {
     use super::*;
-    use rnicsim::{RKey, Sge, VerbKind, WrId, WorkRequest};
+    use rnicsim::{RKey, Sge, WorkRequest};
 
     fn setup(transport: Transport) -> (Testbed, MrId, MrId, ConnId) {
         let mut tb = Testbed::new(ClusterConfig::two_machines());
@@ -835,12 +1002,28 @@ mod transport_tests {
     fn uc_write_completes_before_rc_write() {
         // UC's CQE fires at local send completion — no ACK round trip.
         let (mut tb_rc, src, dst, rc) = setup(Transport::Rc);
-        let warm = tb_rc.post_one(SimTime::ZERO, rc, WorkRequest::write(0, Sge::new(src, 0, 32), RKey(dst.0 as u64), 0));
-        let c = tb_rc.post_one(warm.at, rc, WorkRequest::write(1, Sge::new(src, 0, 32), RKey(dst.0 as u64), 0));
+        let warm = tb_rc.post_one(
+            SimTime::ZERO,
+            rc,
+            WorkRequest::write(0, Sge::new(src, 0, 32), RKey(dst.0 as u64), 0),
+        );
+        let c = tb_rc.post_one(
+            warm.at,
+            rc,
+            WorkRequest::write(1, Sge::new(src, 0, 32), RKey(dst.0 as u64), 0),
+        );
         let rc_lat = c.at - warm.at;
         let (mut tb_uc, src, dst, uc) = setup(Transport::Uc);
-        let warm = tb_uc.post_one(SimTime::ZERO, uc, WorkRequest::write(0, Sge::new(src, 0, 32), RKey(dst.0 as u64), 0));
-        let c = tb_uc.post_one(warm.at, uc, WorkRequest::write(1, Sge::new(src, 0, 32), RKey(dst.0 as u64), 0));
+        let warm = tb_uc.post_one(
+            SimTime::ZERO,
+            uc,
+            WorkRequest::write(0, Sge::new(src, 0, 32), RKey(dst.0 as u64), 0),
+        );
+        let c = tb_uc.post_one(
+            warm.at,
+            uc,
+            WorkRequest::write(1, Sge::new(src, 0, 32), RKey(dst.0 as u64), 0),
+        );
         let uc_lat = c.at - warm.at;
         assert!(uc_lat < rc_lat.scale(60, 100), "uc {uc_lat} vs rc {rc_lat}");
         // The bytes still land.
@@ -851,14 +1034,22 @@ mod transport_tests {
     #[should_panic(expected = "not supported")]
     fn uc_rejects_reads() {
         let (mut tb, src, dst, uc) = setup(Transport::Uc);
-        tb.post_one(SimTime::ZERO, uc, WorkRequest::read(0, Sge::new(src, 0, 8), RKey(dst.0 as u64), 0));
+        tb.post_one(
+            SimTime::ZERO,
+            uc,
+            WorkRequest::read(0, Sge::new(src, 0, 8), RKey(dst.0 as u64), 0),
+        );
     }
 
     #[test]
     #[should_panic(expected = "not supported")]
     fn ud_rejects_writes() {
         let (mut tb, src, dst, ud) = setup(Transport::Ud);
-        tb.post_one(SimTime::ZERO, ud, WorkRequest::write(0, Sge::new(src, 0, 8), RKey(dst.0 as u64), 0));
+        tb.post_one(
+            SimTime::ZERO,
+            ud,
+            WorkRequest::write(0, Sge::new(src, 0, 8), RKey(dst.0 as u64), 0),
+        );
     }
 
     #[test]

@@ -115,10 +115,7 @@ impl ConsolidationBuffer {
         tb.machine_mut(client.machine).mem.write(self.shadow, offset, data);
         self.stats.absorbed += 1;
 
-        let entry = self
-            .pending
-            .entry(block)
-            .or_insert(PendingBlock { count: 0, oldest: now });
+        let entry = self.pending.entry(block).or_insert(PendingBlock { count: 0, oldest: now });
         entry.count += 1;
         if entry.count >= self.theta {
             self.pending.remove(&block);

@@ -307,9 +307,6 @@ mod tests {
         let g = rpc.lock(&mut tb, conn, t0);
         let t1 = rpc.unlock(&mut tb, conn, g.at);
         let rpc_cycle = t1 - t0;
-        assert!(
-            rpc_cycle > one_sided,
-            "rpc {rpc_cycle} must exceed one-sided {one_sided}"
-        );
+        assert!(rpc_cycle > one_sided, "rpc {rpc_cycle} must exceed one-sided {one_sided}");
     }
 }

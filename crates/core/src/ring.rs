@@ -188,8 +188,9 @@ impl RingConsumer {
         if seq != self.head + 1 {
             return None; // not yet sealed (or an old lap)
         }
-        let len =
-            u32::from_le_bytes(tb.machine(machine).mem.read(self.mr, off + 8, 4).try_into().expect("4")) as u64;
+        let len = u32::from_le_bytes(
+            tb.machine(machine).mem.read(self.mr, off + 8, 4).try_into().expect("4"),
+        ) as u64;
         let payload = tb.machine(machine).mem.read(self.mr, off + SLOT_HEADER, len);
         self.head += 1;
         // Publish the new head for producer credit refreshes.
@@ -208,7 +209,7 @@ mod tests {
         let mut tb = Testbed::new(ClusterConfig { machines: 3, ..Default::default() });
         let ring_mr = tb.register(2, 1, 1 << 16);
         let s0 = tb.register(0, 1, 4096);
-        let s1 = tb.register(1, 1, 4096);
+        let _s1 = tb.register(1, 1, 4096);
         let c0 = tb.connect(Endpoint::affine(0, 1), Endpoint::affine(2, 1));
         let c1 = tb.connect(Endpoint::affine(1, 1), Endpoint::affine(2, 1));
         let ring = RemoteRing { rkey: RKey(ring_mr.0 as u64), base: 0, slots, slot_bytes: 64 };
@@ -243,7 +244,8 @@ mod tests {
         for round in 0..3u8 {
             for i in 0..4u8 {
                 let v = round * 4 + i;
-                let (_, done) = producer.push(&mut tb, conn, t, &[v; 8], staging, 0).expect("space");
+                let (_, done) =
+                    producer.push(&mut tb, conn, t, &[v; 8], staging, 0).expect("space");
                 t = done;
             }
             for i in 0..4u8 {

@@ -183,8 +183,7 @@ mod tests {
         let conn = tb.connect(Endpoint::affine(0, 1), Endpoint::affine(1, 1));
         // Scatter the source buffers a page apart so they're genuinely
         // non-contiguous.
-        let bufs: Vec<Sge> =
-            (0..batch).map(|i| Sge::new(src, i as u64 * 4096, payload)).collect();
+        let bufs: Vec<Sge> = (0..batch).map(|i| Sge::new(src, i as u64 * 4096, payload)).collect();
         (tb, bufs, staging, dst, conn)
     }
 
@@ -252,10 +251,12 @@ mod tests {
     fn sp_burns_more_cpu_than_sgl() {
         let (mut tb, bufs, staging, dst, conn) = setup(256, 16);
         let dst_c = RemoteDst::Contiguous(RKey(dst.0 as u64), 0);
-        let sp = batched_write(&mut tb, SimTime::ZERO, conn, Strategy::Sp, &bufs, Some(staging), &dst_c);
+        let sp =
+            batched_write(&mut tb, SimTime::ZERO, conn, Strategy::Sp, &bufs, Some(staging), &dst_c);
         let (mut tb2, bufs2, _s, dst2, conn2) = setup(256, 16);
         let dst_c2 = RemoteDst::Contiguous(RKey(dst2.0 as u64), 0);
-        let sgl = batched_write(&mut tb2, SimTime::ZERO, conn2, Strategy::Sgl, &bufs2, None, &dst_c2);
+        let sgl =
+            batched_write(&mut tb2, SimTime::ZERO, conn2, Strategy::Sgl, &bufs2, None, &dst_c2);
         assert!(sp.cpu_busy > sgl.cpu_busy * 2, "sp {:?} sgl {:?}", sp.cpu_busy, sgl.cpu_busy);
     }
 

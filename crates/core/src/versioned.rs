@@ -153,12 +153,8 @@ mod tests {
         let staging = tb.register(0, 1, 4096);
         let backing = tb.register(1, 1, 4096);
         let conn = tb.connect(Endpoint::affine(0, 1), Endpoint::affine(1, 1));
-        let entry = VersionedEntry {
-            rkey: RKey(backing.0 as u64),
-            base: 64,
-            slots: 4,
-            value_len: 16,
-        };
+        let entry =
+            VersionedEntry { rkey: RKey(backing.0 as u64), base: 64, slots: 4, value_len: 16 };
         (tb, conn, staging, entry)
     }
 

@@ -81,7 +81,7 @@ fn consolidation_counts_flushes() {
         let stats = buf.stats();
         assert_eq!(stats.absorbed, writes as u64);
         assert_eq!(stats.threshold_flushes, (writes / theta) as u64);
-        assert_eq!(buf.dirty_blocks(), usize::from(writes % theta != 0));
+        assert_eq!(buf.dirty_blocks(), usize::from(!writes.is_multiple_of(theta)));
     }
 }
 

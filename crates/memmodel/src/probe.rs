@@ -63,8 +63,11 @@ pub fn fig6c_series(cfg: &HostMemConfig) -> Vec<Series> {
 pub fn pointer_chase(cfg: &HostMemConfig, n: u64, cross_socket: bool) -> SimTime {
     let mut t = SimTime::ZERO;
     for _ in 0..n {
-        t += access_cost(cfg, MemOp::Read, Pattern::Rand, 8, cross_socket)
-            .max(if cross_socket { cfg.remote_latency } else { cfg.local_latency });
+        t += access_cost(cfg, MemOp::Read, Pattern::Rand, 8, cross_socket).max(if cross_socket {
+            cfg.remote_latency
+        } else {
+            cfg.local_latency
+        });
     }
     t
 }

@@ -19,12 +19,7 @@ const READV_GATHER_PENALTY: SimTime = SimTime::from_ns(48);
 
 /// Cost of one `readv`/`writev` call moving `batch` buffers of `payload`
 /// bytes each.
-pub fn vectored_call_cost(
-    cfg: &HostMemConfig,
-    op: MemOp,
-    batch: usize,
-    payload: usize,
-) -> SimTime {
+pub fn vectored_call_cost(cfg: &HostMemConfig, op: MemOp, batch: usize, payload: usize) -> SimTime {
     assert!(batch >= 1, "vectored call needs at least one iovec");
     let per_buffer = cfg.iovec_cost
         + cfg.memcpy_cost(payload)

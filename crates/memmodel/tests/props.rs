@@ -95,8 +95,12 @@ fn vectored_monotonicity() {
         let b2 = 1 + rng.gen_range(63) as usize;
         let payload = 1 + rng.gen_range(4095) as usize;
         let (lo, hi) = (b1.min(b2), b1.max(b2));
-        assert!(vectored_mops(&cfg, op, lo, payload) <= vectored_mops(&cfg, op, hi, payload) + 1e-9);
-        assert!(vectored_call_cost(&cfg, op, lo, payload) <= vectored_call_cost(&cfg, op, hi, payload));
+        assert!(
+            vectored_mops(&cfg, op, lo, payload) <= vectored_mops(&cfg, op, hi, payload) + 1e-9
+        );
+        assert!(
+            vectored_call_cost(&cfg, op, lo, payload) <= vectored_call_cost(&cfg, op, hi, payload)
+        );
     }
 }
 
@@ -112,7 +116,9 @@ fn atomics_monotone() {
         let (lo, hi) = (n1.min(n2), n1.max(n2));
         assert!(faa_op_cost_ns(&cfg, lo) <= faa_op_cost_ns(&cfg, hi) + 1e-9);
         assert!(local_sequencer_mops(&cfg, hi) <= local_sequencer_mops(&cfg, lo) + 1e-9);
-        assert!(local_spinlock_mops(&cfg, hi, false) <= local_spinlock_mops(&cfg, lo, false) + 1e-9);
+        assert!(
+            local_spinlock_mops(&cfg, hi, false) <= local_spinlock_mops(&cfg, lo, false) + 1e-9
+        );
         assert!(
             local_spinlock_mops(&cfg, n1.max(1), true) + 1e-9
                 >= local_spinlock_mops(&cfg, n1.max(1), false)

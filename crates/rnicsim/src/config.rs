@@ -87,6 +87,15 @@ pub struct RnicConfig {
 
     /// Maximum SGEs allowed in one work request.
     pub max_sge: usize,
+    /// Send-queue depth in WQEs. A run of unsignaled WRs at least this
+    /// long wedges the queue: entries are only reclaimed when a *later
+    /// signaled* completion is generated, so an all-unsignaled queue never
+    /// drains (`verbcheck` rule E003).
+    pub sq_depth: usize,
+    /// Completion-queue depth in CQEs. More signaled completions than this
+    /// between polls overflows the CQ on real hardware (`verbcheck` rule
+    /// E004).
+    pub cq_depth: usize,
     /// Fixed cost of registering a memory region (syscall, key
     /// allocation, NIC command) — Frey & Alonso's "hidden cost of RDMA"
     /// [17 in the paper].
@@ -134,6 +143,8 @@ impl Default for RnicConfig {
             qpc_miss_penalty: SimTime::from_ns(400),
 
             max_sge: 32,
+            sq_depth: 128,
+            cq_depth: 256,
             reg_base: SimTime::from_us(2),
             reg_per_page: SimTime::from_ns(210),
             inline_max: 0,
@@ -141,7 +152,50 @@ impl Default for RnicConfig {
     }
 }
 
+/// The device limits that both the simulator *and* static analysis
+/// (`verbcheck`) enforce. Deriving them from one [`RnicConfig`] via
+/// [`RnicConfig::caps`] is what keeps the two from drifting: there is no
+/// second copy of `max_sge` or the queue depths anywhere.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeviceCaps {
+    /// Maximum SGEs per work request.
+    pub max_sge: usize,
+    /// Send-queue depth in WQEs.
+    pub sq_depth: usize,
+    /// Completion-queue depth in CQEs.
+    pub cq_depth: usize,
+    /// MTT cache capacity in page-translation entries.
+    pub mtt_cache_entries: usize,
+    /// Registered-memory page size in bytes.
+    pub page_bytes: u64,
+}
+
+impl DeviceCaps {
+    /// Memory span (bytes) the MTT cache can translate without misses —
+    /// random access over a larger region thrashes the cache (§III-B).
+    pub fn mtt_coverage_bytes(&self) -> u64 {
+        self.mtt_cache_entries as u64 * self.page_bytes
+    }
+}
+
+impl Default for DeviceCaps {
+    fn default() -> Self {
+        RnicConfig::default().caps()
+    }
+}
+
 impl RnicConfig {
+    /// The device capability summary shared with static analysis.
+    pub fn caps(&self) -> DeviceCaps {
+        DeviceCaps {
+            max_sge: self.max_sge,
+            sq_depth: self.sq_depth,
+            cq_depth: self.cq_depth,
+            mtt_cache_entries: self.mtt_cache_entries,
+            page_bytes: self.page_bytes,
+        }
+    }
+
     /// Link serialization rate in ps/byte.
     pub fn link_ps_per_byte(&self) -> u64 {
         ps_per_byte_gbps(self.link_gbps)
@@ -204,5 +258,28 @@ mod tests {
     fn pcie_transfer_scales() {
         let c = RnicConfig::default();
         assert_eq!(c.pcie_transfer(1000).as_ps(), 156_000);
+    }
+
+    #[test]
+    fn caps_mirror_the_config() {
+        let c = RnicConfig {
+            max_sge: 7,
+            sq_depth: 11,
+            cq_depth: 13,
+            mtt_cache_entries: 17,
+            page_bytes: 8192,
+            ..Default::default()
+        };
+        let caps = c.caps();
+        assert_eq!(caps.max_sge, 7);
+        assert_eq!(caps.sq_depth, 11);
+        assert_eq!(caps.cq_depth, 13);
+        assert_eq!(caps.mtt_coverage_bytes(), 17 * 8192);
+        assert_eq!(caps.mtt_coverage_bytes(), c.mtt_coverage_bytes());
+    }
+
+    #[test]
+    fn default_caps_match_default_config() {
+        assert_eq!(DeviceCaps::default(), RnicConfig::default().caps());
     }
 }

@@ -24,7 +24,10 @@ pub mod device;
 pub mod mtt;
 pub mod types;
 
-pub use config::RnicConfig;
+pub use config::{DeviceCaps, RnicConfig};
 pub use device::{Port, Rnic};
 pub use mtt::MttCache;
-pub use types::{Completion, CqeStatus, InlineSgl, MrId, QpNum, RKey, Sge, VerbKind, WorkRequest, WrId, INLINE_SGES};
+pub use types::{
+    Completion, CqeStatus, InlineSgl, MrId, QpNum, RKey, Sge, VerbKind, WorkRequest, WrId,
+    INLINE_SGES,
+};

@@ -259,6 +259,10 @@ pub enum CqeStatus {
     RemoteAccessError,
     /// Local SGL fault.
     LocalProtectionError,
+    /// Atomic target not 8-byte aligned. Real RNICs fault misaligned
+    /// CAS/FAA; the simulator refuses them too so that programs passing
+    /// in simulation cannot corrupt on hardware (§III-E).
+    MisalignedAtomic,
 }
 
 /// A completion queue entry.
@@ -336,6 +340,57 @@ mod tests {
         assert_eq!(sgl.len(), INLINE_SGES + 1);
         let offsets: Vec<u64> = sgl.iter().map(|s| s.offset).collect();
         assert_eq!(offsets, vec![0, 8, 16, 24, 999]);
+    }
+
+    #[test]
+    fn push_at_exactly_inline_sges_fills_without_spilling() {
+        // The boundary itself: the INLINE_SGES-th push lands in the last
+        // inline slot, not the heap.
+        let mut sgl = InlineSgl::new();
+        for i in 0..INLINE_SGES {
+            sgl.push(Sge::new(MrId(0), i as u64 * 16, 16));
+        }
+        assert_eq!(sgl.len(), INLINE_SGES);
+        assert!(!sgl.spilled());
+        assert_eq!(sgl.as_slice().last().unwrap().offset, (INLINE_SGES as u64 - 1) * 16);
+    }
+
+    #[test]
+    fn clone_then_push_of_a_spilled_list_keeps_both_independent() {
+        let mut sgl: InlineSgl =
+            (0..INLINE_SGES as u64 + 1).map(|i| Sge::new(MrId(1), i * 8, 8)).collect();
+        assert!(sgl.spilled());
+        let mut cloned = sgl.clone();
+        assert!(cloned.spilled());
+        assert_eq!(cloned.as_slice(), sgl.as_slice());
+        // Pushing to the clone must not affect the original (and vice
+        // versa): the spill Vec is deep-cloned, not shared.
+        cloned.push(Sge::new(MrId(1), 777, 8));
+        assert_eq!(cloned.len(), INLINE_SGES + 2);
+        assert_eq!(sgl.len(), INLINE_SGES + 1);
+        sgl.push(Sge::new(MrId(1), 888, 8));
+        assert_eq!(cloned.as_slice().last().unwrap().offset, 777);
+        assert_eq!(sgl.as_slice().last().unwrap().offset, 888);
+    }
+
+    #[test]
+    fn payload_bytes_is_continuous_across_the_spill() {
+        // Summing must not change when the SGL crosses from inline to
+        // spilled storage: entry i has length i+1, so after n pushes the
+        // payload is n(n+1)/2.
+        let mut wr = WorkRequest {
+            wr_id: WrId(1),
+            kind: VerbKind::Write,
+            sgl: InlineSgl::new(),
+            remote: Some((RKey(0), 0)),
+            signaled: true,
+        };
+        for i in 0..(INLINE_SGES as u64 + 3) {
+            wr.sgl.push(Sge::new(MrId(0), i * 64, i + 1));
+            let n = i + 1;
+            assert_eq!(wr.payload_bytes(), n * (n + 1) / 2, "after {n} pushes");
+        }
+        assert!(wr.sgl.spilled());
     }
 
     #[test]

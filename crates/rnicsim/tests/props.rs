@@ -110,7 +110,8 @@ fn incast_serializes() {
 fn qp_identity() {
     let mut rng = SimRng::new(0x4106);
     for _ in 0..CASES {
-        let ports: Vec<usize> = (0..1 + rng.gen_range(49)).map(|_| rng.gen_range(2) as usize).collect();
+        let ports: Vec<usize> =
+            (0..1 + rng.gen_range(49)).map(|_| rng.gen_range(2) as usize).collect();
         let mut nic = Rnic::new(RnicConfig::default());
         let mut seen = std::collections::HashSet::new();
         for &p in &ports {

@@ -289,7 +289,7 @@ mod tests {
             while let Some(e) = q.pop() {
                 popped.push(e);
             }
-            expected.extend(oracle.drain(..));
+            expected.append(&mut oracle);
             assert_eq!(popped, expected.iter().map(|&(at, s)| (at, s)).collect::<Vec<_>>());
         }
     }

@@ -162,12 +162,7 @@ impl BandwidthLink {
     /// A link that serializes at `ps_per_byte` and then delays delivery by
     /// `latency` (propagation + fixed per-hop processing).
     pub fn new(ps_per_byte: u64, latency: SimTime) -> Self {
-        BandwidthLink {
-            line: Timeline::default(),
-            ps_per_byte,
-            latency,
-            busy: SimTime::ZERO,
-        }
+        BandwidthLink { line: Timeline::default(), ps_per_byte, latency, busy: SimTime::ZERO }
     }
 
     /// Serialization rate in ps/byte.
@@ -243,9 +238,9 @@ mod tests {
         let mut s = KServer::new(1);
         s.acquire(SimTime::ZERO, SimTime::from_ns(100)); // [0,100)
         s.acquire(SimTime::from_ns(150), SimTime::from_ns(100)); // [150,250)
-        // 60ns job ready at 80: gap [100,150) fits only 50ns of it after
-        // its ready time... it can start at 100, needs until 160 > 150, so
-        // it must go after 250.
+                                                                 // 60ns job ready at 80: gap [100,150) fits only 50ns of it after
+                                                                 // its ready time... it can start at 100, needs until 160 > 150, so
+                                                                 // it must go after 250.
         let (start, _) = s.acquire(SimTime::from_ns(80), SimTime::from_ns(60));
         assert_eq!(start, SimTime::from_ns(250));
         // A 40ns job ready at 100 fits the gap exactly.

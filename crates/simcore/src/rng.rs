@@ -27,12 +27,7 @@ impl SimRng {
     pub fn new(seed: u64) -> Self {
         let mut sm = seed;
         SimRng {
-            s: [
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-            ],
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
         }
     }
 
@@ -40,19 +35,11 @@ impl SimRng {
     /// The child is a function of the parent state and `stream_id` only.
     pub fn split(&self, stream_id: u64) -> SimRng {
         // Mix the stream id into a fresh SplitMix64 chain keyed by our state.
-        let mut sm = self
-            .s
-            .iter()
-            .fold(stream_id ^ 0xA076_1D64_78BD_642F, |acc, &w| {
-                acc.rotate_left(17) ^ w.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            });
+        let mut sm = self.s.iter().fold(stream_id ^ 0xA076_1D64_78BD_642F, |acc, &w| {
+            acc.rotate_left(17) ^ w.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        });
         SimRng {
-            s: [
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-            ],
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
         }
     }
 

@@ -127,7 +127,8 @@ fn kserver_saturated_makespan() {
 fn link_serializes_exactly() {
     let mut rng = SimRng::new(0x7107);
     for _ in 0..CASES {
-        let sizes: Vec<u64> = (0..1 + rng.gen_range(59)).map(|_| 1 + rng.gen_range(9_999)).collect();
+        let sizes: Vec<u64> =
+            (0..1 + rng.gen_range(59)).map(|_| 1 + rng.gen_range(9_999)).collect();
         let mut l = BandwidthLink::new(200, SimTime::from_ns(100));
         let mut last = SimTime::ZERO;
         for &b in &sizes {

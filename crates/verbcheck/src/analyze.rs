@@ -1,0 +1,528 @@
+//! The analysis pass: one walk over the event list.
+//!
+//! Per-post rules (E001, E002, W201, W204) fire immediately. Queue rules
+//! (E003, E004) track per-QP send-queue and completion-queue pressure
+//! between poll points. The race rule (W101) maintains a per-QP list of
+//! *outstanding* one-sided ops — posted, not yet known-complete — and a
+//! happens-before edge is created only by polling: retiring a signaled
+//! completion retires every WR posted before it on that QP (RC ordering).
+//! Pattern lints (W202, W203) accumulate per-region access footprints and
+//! report at the end of the walk.
+
+use crate::diag::{Code, Diagnostic, Span};
+use crate::program::{Event, VerbProgram};
+use rnicsim::{DeviceCaps, MrId, QpNum, VerbKind, WorkRequest, WrId};
+use std::collections::BTreeMap;
+
+/// Tunables of the guideline lints (W2xx). Defaults match the paper's
+/// case-study geometry: 2 KB consolidation blocks (§IV-B's hot blocks)
+/// and a θ of 8 absorbed writes before a flush is clearly worthwhile.
+#[derive(Clone, Debug)]
+pub struct LintOptions {
+    /// W203: writes to one block before the "consolidate" lint fires.
+    pub theta: usize,
+    /// W203: block size writes should consolidate into.
+    pub block_bytes: u64,
+    /// W203: a write only counts as "small" at or below this size.
+    pub small_write_max: u64,
+    /// W202: minimum accesses to a region before the pattern is judged.
+    pub thrash_min_accesses: usize,
+    /// W202: fraction of non-sequential page steps that makes a pattern
+    /// "random" (0.5 = half the steps jump more than one page).
+    pub random_fraction: f64,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            theta: 8,
+            block_bytes: 2048,
+            small_write_max: 256,
+            thrash_min_accesses: 8,
+            random_fraction: 0.5,
+        }
+    }
+}
+
+/// One outstanding (posted, not yet known-complete) work request.
+struct OutOp {
+    event: usize,
+    wr_id: WrId,
+    signaled: bool,
+    /// Remote footprint of a one-sided op: (machine, mr, start, end).
+    range: Option<(usize, MrId, u64, u64)>,
+    writes: bool,
+    kind_name: &'static str,
+}
+
+/// Per-QP analysis state.
+#[derive(Default)]
+struct QpState {
+    unsignaled_run: usize,
+    wedge_reported: bool,
+    outstanding_cqes: usize,
+    overflow_reported: bool,
+    outstanding: Vec<OutOp>,
+}
+
+/// Per-remote-MR footprint for the pattern lints.
+#[derive(Default)]
+struct MrFootprint {
+    first_event: usize,
+    accesses: usize,
+    jumps: usize,
+    last_page: Option<u64>,
+    /// W203 state: block base → (small-write count, reported).
+    blocks: BTreeMap<u64, (usize, bool)>,
+}
+
+fn kind_name(kind: &VerbKind) -> &'static str {
+    match kind {
+        VerbKind::Write => "Write",
+        VerbKind::Read => "Read",
+        VerbKind::CompareSwap { .. } => "CompareSwap",
+        VerbKind::FetchAdd { .. } => "FetchAdd",
+        VerbKind::Send => "Send",
+    }
+}
+
+fn is_remote_write(kind: &VerbKind) -> bool {
+    matches!(kind, VerbKind::Write | VerbKind::CompareSwap { .. } | VerbKind::FetchAdd { .. })
+}
+
+/// Analyze with default [`LintOptions`].
+pub fn analyze(prog: &VerbProgram, caps: &DeviceCaps) -> Vec<Diagnostic> {
+    analyze_with(prog, caps, &LintOptions::default())
+}
+
+/// Whether any diagnostic is error-severity.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity() == crate::diag::Severity::Error)
+}
+
+/// Analyze a program against device capabilities and lint tunables.
+/// Diagnostics come back in event order; whole-program pattern lints
+/// (W202) follow, ordered by (machine, MR).
+pub fn analyze_with(prog: &VerbProgram, caps: &DeviceCaps, opts: &LintOptions) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut qp_states: BTreeMap<u32, QpState> = BTreeMap::new();
+    let mut footprints: BTreeMap<(usize, u32), MrFootprint> = BTreeMap::new();
+
+    for (idx, event) in prog.events().iter().enumerate() {
+        match event {
+            Event::Post { qp, wr } => check_post(
+                prog,
+                caps,
+                opts,
+                idx,
+                *qp,
+                wr,
+                &mut qp_states,
+                &mut footprints,
+                &mut diags,
+            ),
+            Event::Poll { qp, count } => {
+                let st = qp_states.entry(qp.0).or_default();
+                // Retire the oldest `count` signaled WRs plus, by RC
+                // ordering, every unsignaled WR posted before them.
+                let mut seen = 0usize;
+                let mut cut = 0usize;
+                for (i, op) in st.outstanding.iter().enumerate() {
+                    if op.signaled {
+                        seen += 1;
+                        cut = i + 1;
+                        if seen == *count {
+                            break;
+                        }
+                    }
+                }
+                st.outstanding.drain(..cut);
+                st.outstanding_cqes = st.outstanding_cqes.saturating_sub(seen);
+                if st.outstanding_cqes <= caps.cq_depth {
+                    st.overflow_reported = false;
+                }
+            }
+        }
+    }
+
+    // Whole-program pattern lint: MTT thrash (W202).
+    for ((machine, mr), fp) in &footprints {
+        if fp.accesses < opts.thrash_min_accesses {
+            continue;
+        }
+        let decl = match prog.find_mr(*machine, MrId(*mr)) {
+            Some(d) => d,
+            None => continue, // already an E001
+        };
+        if decl.len <= caps.mtt_coverage_bytes() {
+            continue; // the whole region fits in the MTT cache (Fig 6d)
+        }
+        let steps = fp.accesses - 1;
+        if steps == 0 || (fp.jumps as f64) / (steps as f64) < opts.random_fraction {
+            continue;
+        }
+        diags.push(Diagnostic {
+            code: Code::W202,
+            message: format!(
+                "{} accesses stride randomly over MR {} on machine {} ({} B registered, \
+                 MTT cache covers only {} B) — each op will pay a translation fetch; \
+                 shrink the region or access it sequentially",
+                fp.accesses,
+                mr,
+                machine,
+                decl.len,
+                caps.mtt_coverage_bytes()
+            ),
+            span: Span::event(fp.first_event),
+            related: None,
+        });
+    }
+
+    diags
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_post(
+    prog: &VerbProgram,
+    caps: &DeviceCaps,
+    opts: &LintOptions,
+    idx: usize,
+    qp: QpNum,
+    wr: &WorkRequest,
+    qp_states: &mut BTreeMap<u32, QpState>,
+    footprints: &mut BTreeMap<(usize, u32), MrFootprint>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let span = Span::post(idx, qp, wr.wr_id);
+    let decl = match prog.find_qp(qp) {
+        Some(d) => *d,
+        None => {
+            diags.push(Diagnostic {
+                code: Code::E001,
+                message: format!("post on undeclared QP {}", qp.0),
+                span,
+                related: None,
+            });
+            return;
+        }
+    };
+
+    // --- W201: SGL length vs device max (§III-A). ---
+    if wr.sgl.len() > caps.max_sge {
+        diags.push(Diagnostic {
+            code: Code::W201,
+            message: format!(
+                "SGL has {} entries but the device supports max_sge = {}; \
+                 the post is rejected on real hardware — split the request",
+                wr.sgl.len(),
+                caps.max_sge
+            ),
+            span,
+            related: None,
+        });
+    }
+
+    // --- E001 (local side) + W204 (local buffer placement). ---
+    for sge in &wr.sgl {
+        match prog.find_mr(decl.local_machine, sge.mr) {
+            None => diags.push(Diagnostic {
+                code: Code::E001,
+                message: format!(
+                    "local SGE references MR {} which is not registered on machine {}",
+                    sge.mr.0, decl.local_machine
+                ),
+                span,
+                related: None,
+            }),
+            Some(m) => {
+                if sge.offset.checked_add(sge.len).is_none_or(|end| end > m.len) {
+                    diags.push(Diagnostic {
+                        code: Code::E001,
+                        message: format!(
+                            "local SGE [{:#x}, {:#x}) is out of bounds of MR {} (len {:#x})",
+                            sge.offset,
+                            sge.offset.wrapping_add(sge.len),
+                            sge.mr.0,
+                            m.len
+                        ),
+                        span,
+                        related: None,
+                    });
+                } else if m.socket != decl.local_port_socket {
+                    diags.push(Diagnostic {
+                        code: Code::W204,
+                        message: format!(
+                            "local buffer MR {} lives on socket {} but QP {}'s port is on \
+                             socket {}; the payload DMA crosses QPI — register the buffer \
+                             on socket {} or move the QP",
+                            sge.mr.0,
+                            m.socket,
+                            qp.0,
+                            decl.local_port_socket,
+                            decl.local_port_socket
+                        ),
+                        span,
+                        related: None,
+                    });
+                }
+            }
+        }
+    }
+
+    // --- Remote side: E001 bounds/rkey, E002 atomics, W204 placement. ---
+    let payload = wr.payload_bytes();
+    let mut remote_range: Option<(usize, MrId, u64, u64)> = None;
+    if wr.kind.is_one_sided() {
+        match wr.remote {
+            None => diags.push(Diagnostic {
+                code: Code::E001,
+                message: format!("one-sided {} has no remote address", kind_name(&wr.kind)),
+                span,
+                related: None,
+            }),
+            Some((rkey, off)) => {
+                let mr = MrId(rkey.0 as u32);
+                match prog.find_mr(decl.remote_machine, mr) {
+                    None => diags.push(Diagnostic {
+                        code: Code::E001,
+                        message: format!(
+                            "rkey {:#x} does not name a registered MR on machine {}",
+                            rkey.0, decl.remote_machine
+                        ),
+                        span,
+                        related: None,
+                    }),
+                    Some(m) => {
+                        if off.checked_add(payload).is_none_or(|end| end > m.len) {
+                            diags.push(Diagnostic {
+                                code: Code::E001,
+                                message: format!(
+                                    "remote access [{:#x}, {:#x}) is out of bounds of MR {} \
+                                     (len {:#x})",
+                                    off,
+                                    off.wrapping_add(payload),
+                                    mr.0,
+                                    m.len
+                                ),
+                                span,
+                                related: None,
+                            });
+                        } else {
+                            if m.socket != decl.remote_port_socket {
+                                diags.push(Diagnostic {
+                                    code: Code::W204,
+                                    message: format!(
+                                        "remote MR {} lives on socket {} but the target port \
+                                         is on socket {}; the placement DMA crosses QPI on \
+                                         every access",
+                                        mr.0, m.socket, decl.remote_port_socket
+                                    ),
+                                    span,
+                                    related: None,
+                                });
+                            }
+                            remote_range =
+                                Some((decl.remote_machine, mr, off, off + payload.max(1)));
+
+                            // Footprints for the pattern lints.
+                            let fp = footprints.entry((decl.remote_machine, mr.0)).or_insert_with(
+                                || MrFootprint { first_event: idx, ..Default::default() },
+                            );
+                            let page = off / caps.page_bytes;
+                            if let Some(last) = fp.last_page {
+                                if page.abs_diff(last) > 1 {
+                                    fp.jumps += 1;
+                                }
+                            }
+                            fp.last_page = Some(page);
+                            fp.accesses += 1;
+
+                            // W203: small writes that should consolidate.
+                            if matches!(wr.kind, VerbKind::Write)
+                                && payload <= opts.small_write_max
+                                && off / opts.block_bytes
+                                    == (off + payload.max(1) - 1) / opts.block_bytes
+                            {
+                                let base = off / opts.block_bytes * opts.block_bytes;
+                                let (count, reported) = fp.blocks.entry(base).or_insert((0, false));
+                                *count += 1;
+                                if *count >= opts.theta && !*reported {
+                                    *reported = true;
+                                    diags.push(Diagnostic {
+                                        code: Code::W203,
+                                        message: format!(
+                                            "{} small writes (≤ {} B each) landed in the \
+                                             {}-byte block at {:#x} of MR {}; absorb them \
+                                             locally and flush one block write",
+                                            count,
+                                            opts.small_write_max,
+                                            opts.block_bytes,
+                                            base,
+                                            mr.0
+                                        ),
+                                        span,
+                                        related: None,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // E002 applies even when bounds are fine or broken — the
+                // alignment fault is independent of the bounds fault.
+                if wr.kind.is_atomic() {
+                    if off % 8 != 0 {
+                        diags.push(Diagnostic {
+                            code: Code::E002,
+                            message: format!(
+                                "atomic target offset {:#x} is not 8-byte aligned",
+                                off
+                            ),
+                            span,
+                            related: None,
+                        });
+                    }
+                    let sgl_bytes: u64 = wr.sgl.iter().map(|s| s.len).sum();
+                    if sgl_bytes != 8 {
+                        diags.push(Diagnostic {
+                            code: Code::E002,
+                            message: format!(
+                                "atomic result SGL is {} bytes; CAS/FAA transfer exactly 8",
+                                sgl_bytes
+                            ),
+                            span,
+                            related: None,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // --- W101: cross-QP races against every other QP's outstanding ops. ---
+    if let Some((rm, rmr, start, end)) = remote_range {
+        let writes = is_remote_write(&wr.kind);
+        let mut conflict: Option<(Span, String)> = None;
+        for (other_qp, st) in qp_states.iter() {
+            if *other_qp == qp.0 {
+                continue; // same-QP ops are ordered by RC
+            }
+            for op in &st.outstanding {
+                let Some((om, omr, os, oe)) = op.range else { continue };
+                if om == rm && omr == rmr && os < end && start < oe && (writes || op.writes) {
+                    conflict = Some((
+                        Span::post(op.event, QpNum(*other_qp), op.wr_id),
+                        format!(
+                            "outstanding {} to [{:#x}, {:#x}) on qp {}",
+                            op.kind_name, os, oe, other_qp
+                        ),
+                    ));
+                    break;
+                }
+            }
+            if conflict.is_some() {
+                break;
+            }
+        }
+        if let Some(related) = conflict {
+            diags.push(Diagnostic {
+                code: Code::W101,
+                message: format!(
+                    "{} to [{:#x}, {:#x}) of MR {} races an unordered op on another QP; \
+                     poll the earlier op's completion before posting this one",
+                    kind_name(&wr.kind),
+                    start,
+                    end,
+                    rmr.0
+                ),
+                span,
+                related: Some(related),
+            });
+        }
+    }
+
+    // --- E003/E004: queue-pressure bookkeeping. ---
+    let st = qp_states.entry(qp.0).or_default();
+    if wr.signaled {
+        st.unsignaled_run = 0;
+        st.wedge_reported = false;
+        st.outstanding_cqes += 1;
+        if st.outstanding_cqes > caps.cq_depth && !st.overflow_reported {
+            st.overflow_reported = true;
+            diags.push(Diagnostic {
+                code: Code::E004,
+                message: format!(
+                    "{} signaled completions are outstanding on QP {} but the CQ holds \
+                     {}; poll before posting more",
+                    st.outstanding_cqes, qp.0, caps.cq_depth
+                ),
+                span,
+                related: None,
+            });
+        }
+    } else {
+        st.unsignaled_run += 1;
+        if st.unsignaled_run >= caps.sq_depth && !st.wedge_reported {
+            st.wedge_reported = true;
+            diags.push(Diagnostic {
+                code: Code::E003,
+                message: format!(
+                    "{} consecutive unsignaled WRs fill QP {}'s send queue (depth {}); \
+                     slots are only reclaimed by later signaled completions, so the \
+                     queue wedges — signal at least every {} WRs",
+                    st.unsignaled_run,
+                    qp.0,
+                    caps.sq_depth,
+                    caps.sq_depth - 1
+                ),
+                span,
+                related: None,
+            });
+        }
+    }
+    st.outstanding.push(OutOp {
+        event: idx,
+        wr_id: wr.wr_id,
+        signaled: wr.signaled,
+        range: remote_range,
+        writes: is_remote_write(&wr.kind),
+        kind_name: kind_name(&wr.kind),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnicsim::{RKey, Sge};
+
+    #[test]
+    fn clean_program_is_clean() {
+        let mut p = VerbProgram::new();
+        p.mr(0, MrId(0), 1, 4096);
+        p.mr(1, MrId(1), 1, 4096);
+        p.qp(QpNum(0), 0, 1, 1, 1);
+        p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
+        p.poll(QpNum(0), 1);
+        assert!(analyze(&p, &DeviceCaps::default()).is_empty());
+    }
+
+    #[test]
+    fn poll_retires_unsignaled_predecessors() {
+        // Unsignaled write then signaled write; polling one CQE retires
+        // both, so a later overlapping read on another QP is race-free.
+        let mut p = VerbProgram::new();
+        p.mr(0, MrId(0), 1, 4096);
+        p.mr(1, MrId(1), 1, 4096);
+        p.qp(QpNum(0), 0, 1, 1, 1);
+        p.qp(QpNum(1), 0, 1, 1, 1);
+        let mut w = WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0);
+        w.signaled = false;
+        p.post(QpNum(0), w);
+        p.post(QpNum(0), WorkRequest::write(2, Sge::new(MrId(0), 0, 64), RKey(1), 64));
+        p.poll(QpNum(0), 1);
+        p.post(QpNum(1), WorkRequest::read(3, Sge::new(MrId(0), 0, 64), RKey(1), 0));
+        let diags = analyze(&p, &DeviceCaps::default());
+        assert!(diags.is_empty(), "{diags:#?}");
+    }
+}

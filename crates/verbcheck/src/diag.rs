@@ -1,0 +1,253 @@
+//! Diagnostics: stable codes, severities, spans, compiler-style rendering.
+
+use rnicsim::{QpNum, WrId};
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Guideline violation: the program works but leaves paper-quantified
+    /// performance on the table.
+    Warning,
+    /// Hazard: the program faults or corrupts on real RNICs even if it
+    /// appears to work in simulation.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in rendered diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Stable diagnostic codes. The number never changes meaning across
+/// versions; tools may match on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // each variant is documented by `title`
+pub enum Code {
+    E001,
+    E002,
+    E003,
+    E004,
+    W101,
+    W201,
+    W202,
+    W203,
+    W204,
+}
+
+/// Every code, in rendering order (used by the golden snapshot test).
+pub const ALL_CODES: &[Code] = &[
+    Code::E001,
+    Code::E002,
+    Code::E003,
+    Code::E004,
+    Code::W101,
+    Code::W201,
+    Code::W202,
+    Code::W203,
+    Code::W204,
+];
+
+impl Code {
+    /// The stable string form, e.g. `"E001"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::E001 => "E001",
+            Code::E002 => "E002",
+            Code::E003 => "E003",
+            Code::E004 => "E004",
+            Code::W101 => "W101",
+            Code::W201 => "W201",
+            Code::W202 => "W202",
+            Code::W203 => "W203",
+            Code::W204 => "W204",
+        }
+    }
+
+    /// Severity class of the code.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::E001 | Code::E002 | Code::E003 | Code::E004 => Severity::Error,
+            _ => Severity::Warning,
+        }
+    }
+
+    /// One-line description of the rule.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::E001 => "SGE out of registered-MR bounds or bad rkey",
+            Code::E002 => "misaligned or mis-sized RDMA atomic",
+            Code::E003 => "unsignaled run can wedge the send queue",
+            Code::E004 => "signaled completions can overflow the CQ between polls",
+            Code::W101 => "cross-QP remote-memory race with no completion ordering",
+            Code::W201 => "SGL longer than the device's max_sge",
+            Code::W202 => "random access pattern thrashes the MTT cache",
+            Code::W203 => "small writes to one block should consolidate",
+            Code::W204 => "buffer placed on the socket opposite the QP's port",
+        }
+    }
+
+    /// The paper section (or spec rule) the code is grounded in.
+    pub fn grounding(self) -> &'static str {
+        match self {
+            Code::E001 => {
+                "ibverbs: out-of-bounds one-sided access completes with RemoteAccessError"
+            }
+            Code::E002 => "§III-E: RDMA atomics operate on aligned 8-byte words",
+            Code::E003 => "ibverbs: SQ slots are reclaimed only by later signaled completions",
+            Code::E004 => "ibverbs: CQ overrun is fatal to the QP",
+            Code::W101 => {
+                "§II-A: one-sided ops on different QPs are unordered until a CQE is polled"
+            }
+            Code::W201 => {
+                "§III-A: SGL beyond max_sge is rejected; long SGLs serialize on the gather engine"
+            }
+            Code::W202 => {
+                "§III-B: random access beyond MTT-cache coverage pays a host fetch per op"
+            }
+            Code::W203 => {
+                "§III-C: consolidating θ small writes into one block write multiplies throughput"
+            }
+            Code::W204 => "§III-D: QPI crossings add up to ~55% latency on small verbs",
+        }
+    }
+}
+
+/// Where in the program a diagnostic points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Index into [`crate::VerbProgram`]'s event list.
+    pub event: usize,
+    /// QP the offending event acts on, when applicable.
+    pub qp: Option<QpNum>,
+    /// Work-request id, when the event is a post.
+    pub wr_id: Option<WrId>,
+}
+
+impl Span {
+    /// A span for a post on `qp` with `wr_id`.
+    pub fn post(event: usize, qp: QpNum, wr_id: WrId) -> Self {
+        Span { event, qp: Some(qp), wr_id: Some(wr_id) }
+    }
+
+    /// A span for a non-post event (poll, or a whole-program finding).
+    pub fn event(event: usize) -> Self {
+        Span { event, qp: None, wr_id: None }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "program:{}", self.event)?;
+        match (self.qp, self.wr_id) {
+            (Some(qp), Some(wr)) => write!(f, " (qp {}, wr {})", qp.0, wr.0),
+            (Some(qp), None) => write!(f, " (qp {})", qp.0),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// One finding of the analyzer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (also fixes the severity).
+    pub code: Code,
+    /// What, concretely, is wrong here.
+    pub message: String,
+    /// Where the finding anchors.
+    pub span: Span,
+    /// A second program point involved in the finding (e.g. the earlier
+    /// conflicting post of a W101 race).
+    pub related: Option<(Span, String)>,
+}
+
+impl Diagnostic {
+    /// Severity, derived from the code.
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    /// Render in the compiler style:
+    ///
+    /// ```text
+    /// error[E002]: atomic target offset 12 is not 8-byte aligned
+    ///   --> program:4 (qp 1, wr 7)
+    ///   = note: §III-E: RDMA atomics operate on aligned 8-byte words
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}[{}]: {}\n  --> {}\n",
+            self.severity().label(),
+            self.code.as_str(),
+            self.message,
+            self.span
+        );
+        if let Some((span, what)) = &self.related {
+            out.push_str(&format!("  = related: {span} — {what}\n"));
+        }
+        out.push_str(&format!("  = note: {}\n", self.code.grounding()));
+        out
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_strings() {
+        assert_eq!(Code::E001.as_str(), "E001");
+        assert_eq!(Code::W204.as_str(), "W204");
+        assert_eq!(ALL_CODES.len(), 9);
+        for c in ALL_CODES {
+            assert_eq!(c.as_str().len(), 4);
+        }
+    }
+
+    #[test]
+    fn severity_split_follows_the_letter() {
+        for c in ALL_CODES {
+            let expect =
+                if c.as_str().starts_with('E') { Severity::Error } else { Severity::Warning };
+            assert_eq!(c.severity(), expect, "{}", c.as_str());
+        }
+    }
+
+    #[test]
+    fn render_shape() {
+        let d = Diagnostic {
+            code: Code::E002,
+            message: "atomic target offset 12 is not 8-byte aligned".into(),
+            span: Span::post(4, QpNum(1), WrId(7)),
+            related: None,
+        };
+        let r = d.render();
+        assert!(r.starts_with("error[E002]: atomic target offset 12"));
+        assert!(r.contains("--> program:4 (qp 1, wr 7)"));
+        assert!(r.contains("note: §III-E"));
+    }
+
+    #[test]
+    fn render_includes_related_span() {
+        let d = Diagnostic {
+            code: Code::W101,
+            message: "unordered overlap".into(),
+            span: Span::post(9, QpNum(2), WrId(1)),
+            related: Some((
+                Span::post(3, QpNum(1), WrId(0)),
+                "earlier Write to [0x0, 0x40)".into(),
+            )),
+        };
+        assert!(d.render().contains("related: program:3 (qp 1, wr 0) — earlier Write"));
+    }
+}

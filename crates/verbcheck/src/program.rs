@@ -1,0 +1,173 @@
+//! The analyzable form of a verb program.
+//!
+//! A [`VerbProgram`] is declarations plus an ordered event list:
+//!
+//! * **MR declarations** — which registered regions exist on which
+//!   machine, their socket, and their length (the bounds that E001
+//!   checks, the geometry that W202/W204 reason over).
+//! * **QP declarations** — which queue pairs exist, which machines they
+//!   connect, and which NUMA socket owns each side's port.
+//! * **Events** — `Post` (a work request enters a send queue) and `Poll`
+//!   (the CPU retires up to `n` completions of a QP). Poll points are the
+//!   only source of cross-QP ordering: a one-sided op is *known finished*
+//!   only once its CQE — or a later CQE of the same QP — has been polled.
+//!
+//! Programs follow the repo-wide convention that `RKey(x)` names `MrId(x
+//! as u32)` on the QP's remote machine.
+
+use rnicsim::{MrId, QpNum, WorkRequest};
+
+/// A registered memory region, as the analyzer sees it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MrDecl {
+    /// Machine the region lives on.
+    pub machine: usize,
+    /// Region id (unique per machine).
+    pub mr: MrId,
+    /// NUMA socket whose DRAM holds the region.
+    pub socket: usize,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// A queue pair, as the analyzer sees it. Queue depths are device-wide
+/// ([`rnicsim::DeviceCaps`]), not per-QP — matching the simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QpDecl {
+    /// Program-unique QP number (the *client* QP of a connection).
+    pub qp: QpNum,
+    /// Machine the posting side runs on.
+    pub local_machine: usize,
+    /// Machine one-sided verbs of this QP target.
+    pub remote_machine: usize,
+    /// Socket owning the local NIC port the QP is bound to.
+    pub local_port_socket: usize,
+    /// Socket owning the remote NIC port.
+    pub remote_port_socket: usize,
+}
+
+/// One step of the program.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// A work request enters `qp`'s send queue.
+    Post {
+        /// Posting queue pair.
+        qp: QpNum,
+        /// The request.
+        wr: WorkRequest,
+    },
+    /// The CPU polls up to `count` completions off `qp`'s CQ, retiring
+    /// the oldest signaled WRs (and, by RC ordering, every unsignaled WR
+    /// posted before them).
+    Poll {
+        /// Polled queue pair.
+        qp: QpNum,
+        /// Maximum completions retired.
+        count: usize,
+    },
+}
+
+/// A complete analyzable program.
+#[derive(Clone, Debug, Default)]
+pub struct VerbProgram {
+    mrs: Vec<MrDecl>,
+    qps: Vec<QpDecl>,
+    events: Vec<Event>,
+}
+
+impl VerbProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a memory region. Returns `self` for chaining.
+    pub fn mr(&mut self, machine: usize, mr: MrId, socket: usize, len: u64) -> &mut Self {
+        self.mrs.push(MrDecl { machine, mr, socket, len });
+        self
+    }
+
+    /// Declare a queue pair connecting `local_machine` to
+    /// `remote_machine`, with each side's port on the given socket.
+    pub fn qp(
+        &mut self,
+        qp: QpNum,
+        local_machine: usize,
+        remote_machine: usize,
+        local_port_socket: usize,
+        remote_port_socket: usize,
+    ) -> &mut Self {
+        self.qps.push(QpDecl {
+            qp,
+            local_machine,
+            remote_machine,
+            local_port_socket,
+            remote_port_socket,
+        });
+        self
+    }
+
+    /// Append a post event; returns its event index (usable as a span).
+    pub fn post(&mut self, qp: QpNum, wr: WorkRequest) -> usize {
+        self.events.push(Event::Post { qp, wr });
+        self.events.len() - 1
+    }
+
+    /// Append a poll event retiring up to `count` completions.
+    pub fn poll(&mut self, qp: QpNum, count: usize) -> usize {
+        self.events.push(Event::Poll { qp, count });
+        self.events.len() - 1
+    }
+
+    /// Declared regions.
+    pub fn mrs(&self) -> &[MrDecl] {
+        &self.mrs
+    }
+
+    /// Declared queue pairs.
+    pub fn qps(&self) -> &[QpDecl] {
+        &self.qps
+    }
+
+    /// The event list.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Look up an MR declaration by machine and id.
+    pub fn find_mr(&self, machine: usize, mr: MrId) -> Option<&MrDecl> {
+        self.mrs.iter().find(|d| d.machine == machine && d.mr == mr)
+    }
+
+    /// Look up a QP declaration.
+    pub fn find_qp(&self, qp: QpNum) -> Option<&QpDecl> {
+        self.qps.iter().find(|d| d.qp == qp)
+    }
+
+    /// Number of post events.
+    pub fn post_count(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, Event::Post { .. })).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnicsim::{RKey, Sge};
+
+    #[test]
+    fn builder_round_trip() {
+        let mut p = VerbProgram::new();
+        p.mr(0, MrId(0), 1, 4096).mr(1, MrId(3), 0, 1 << 20);
+        p.qp(QpNum(0), 0, 1, 1, 0);
+        let i0 = p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 8), RKey(3), 0));
+        let i1 = p.poll(QpNum(0), 1);
+        assert_eq!((i0, i1), (0, 1));
+        assert_eq!(p.mrs().len(), 2);
+        assert_eq!(p.find_mr(1, MrId(3)).unwrap().len, 1 << 20);
+        assert!(p.find_mr(0, MrId(3)).is_none(), "MR ids are per-machine");
+        assert_eq!(p.find_qp(QpNum(0)).unwrap().remote_machine, 1);
+        assert_eq!(p.post_count(), 1);
+        assert_eq!(p.events().len(), 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Snapshot test: render one diagnostic of every code and diff the
+//! output against the committed golden file. Catches accidental drift
+//! in codes, severities, messages, spans, or note lines.
+//!
+//! To regenerate after an intentional rendering change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p verbcheck --test golden
+//! ```
+
+use rnicsim::{DeviceCaps, MrId, QpNum, RKey, Sge, VerbKind, WorkRequest, WrId};
+use verbcheck::diag::ALL_CODES;
+use verbcheck::{analyze, analyze_with, Code, Diagnostic, LintOptions, VerbProgram};
+
+/// Minimal two-machine skeleton: 4 KB MRs on socket 1, one QP on socket 1.
+fn skeleton() -> VerbProgram {
+    let mut p = VerbProgram::new();
+    p.mr(0, MrId(0), 1, 4096);
+    p.mr(1, MrId(1), 1, 4096);
+    p.qp(QpNum(0), 0, 1, 1, 1);
+    p
+}
+
+/// Build, per code, the smallest program that fires exactly that code
+/// once, and return the rendered diagnostic.
+fn render_one(code: Code) -> String {
+    let caps = DeviceCaps::default();
+    let diags: Vec<Diagnostic> = match code {
+        Code::E001 => {
+            let mut p = skeleton();
+            p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(9), 0));
+            p.poll(QpNum(0), 1);
+            analyze(&p, &caps)
+        }
+        Code::E002 => {
+            let mut p = skeleton();
+            p.post(
+                QpNum(0),
+                WorkRequest {
+                    wr_id: WrId(7),
+                    kind: VerbKind::FetchAdd { delta: 1 },
+                    sgl: Sge::new(MrId(0), 0, 8).into(),
+                    remote: Some((RKey(1), 12)),
+                    signaled: true,
+                },
+            );
+            p.poll(QpNum(0), 1);
+            analyze(&p, &caps)
+        }
+        Code::E003 => {
+            let small = DeviceCaps { sq_depth: 4, ..caps };
+            let mut p = skeleton();
+            for i in 0..4u64 {
+                let mut w = WorkRequest::read(i, Sge::new(MrId(0), 0, 8), RKey(1), 0);
+                w.signaled = false;
+                p.post(QpNum(0), w);
+            }
+            analyze(&p, &small)
+        }
+        Code::E004 => {
+            let small = DeviceCaps { cq_depth: 4, ..caps };
+            let mut p = skeleton();
+            for i in 0..5u64 {
+                p.post(QpNum(0), WorkRequest::read(i, Sge::new(MrId(0), 0, 8), RKey(1), 0));
+            }
+            p.poll(QpNum(0), 5);
+            analyze(&p, &small)
+        }
+        Code::W101 => {
+            let mut p = skeleton();
+            p.qp(QpNum(1), 0, 1, 1, 1);
+            p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
+            p.post(QpNum(1), WorkRequest::read(2, Sge::new(MrId(0), 128, 64), RKey(1), 32));
+            p.poll(QpNum(0), 1);
+            p.poll(QpNum(1), 1);
+            analyze(&p, &caps)
+        }
+        Code::W201 => {
+            let small = DeviceCaps { max_sge: 2, ..caps };
+            let mut p = skeleton();
+            let sgl: Vec<Sge> = (0..3).map(|i| Sge::new(MrId(0), i * 64, 64)).collect();
+            p.post(
+                QpNum(0),
+                WorkRequest {
+                    wr_id: WrId(1),
+                    kind: VerbKind::Write,
+                    sgl: sgl.into(),
+                    remote: Some((RKey(1), 0)),
+                    signaled: true,
+                },
+            );
+            p.poll(QpNum(0), 1);
+            analyze(&p, &small)
+        }
+        Code::W202 => {
+            let mut p = VerbProgram::new();
+            p.mr(0, MrId(0), 1, 4096);
+            p.mr(1, MrId(1), 1, 64 << 20);
+            p.qp(QpNum(0), 0, 1, 1, 1);
+            let pages = (64 << 20) / caps.page_bytes;
+            for i in 0..16u64 {
+                let off = (i.wrapping_mul(2654435761) % pages) * caps.page_bytes;
+                p.post(QpNum(0), WorkRequest::read(i, Sge::new(MrId(0), 0, 32), RKey(1), off));
+                p.poll(QpNum(0), 1);
+            }
+            analyze(&p, &caps)
+        }
+        Code::W203 => {
+            let opts = LintOptions { theta: 4, ..LintOptions::default() };
+            let mut p = skeleton();
+            for i in 0..4u64 {
+                p.post(QpNum(0), WorkRequest::write(i, Sge::new(MrId(0), 0, 64), RKey(1), i * 128));
+                p.poll(QpNum(0), 1);
+            }
+            analyze_with(&p, &caps, &opts)
+        }
+        Code::W204 => {
+            let mut p = VerbProgram::new();
+            p.mr(0, MrId(0), 0, 4096); // buffer on socket 0, port on socket 1
+            p.mr(1, MrId(1), 1, 4096);
+            p.qp(QpNum(0), 0, 1, 1, 1);
+            p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
+            p.poll(QpNum(0), 1);
+            analyze(&p, &caps)
+        }
+    };
+    assert_eq!(
+        diags.len(),
+        1,
+        "fixture for {} must fire exactly once, got: {diags:#?}",
+        code.as_str()
+    );
+    assert_eq!(diags[0].code, code);
+    diags[0].render()
+}
+
+#[test]
+fn every_code_renders_like_the_golden_file() {
+    let mut actual = String::new();
+    for code in ALL_CODES {
+        actual.push_str(&render_one(*code));
+        actual.push('\n');
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_diagnostics.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        actual, expected,
+        "rendered diagnostics drifted from the golden file; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}

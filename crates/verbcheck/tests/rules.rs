@@ -1,0 +1,421 @@
+//! Fixture tests: every rule fires on its positive fixture and stays
+//! silent on the matching negative fixture.
+
+use rnicsim::{DeviceCaps, MrId, QpNum, RKey, Sge, VerbKind, WorkRequest, WrId};
+use verbcheck::{analyze, analyze_with, has_errors, Code, LintOptions, VerbProgram};
+
+/// A two-machine program skeleton: 4 KB local MR 0 and remote MR 1, both
+/// on socket 1, one QP with both ports on socket 1.
+fn skeleton() -> VerbProgram {
+    let mut p = VerbProgram::new();
+    p.mr(0, MrId(0), 1, 4096);
+    p.mr(1, MrId(1), 1, 4096);
+    p.qp(QpNum(0), 0, 1, 1, 1);
+    p
+}
+
+fn codes(p: &VerbProgram) -> Vec<Code> {
+    analyze(p, &DeviceCaps::default()).iter().map(|d| d.code).collect()
+}
+
+fn atomic(kind: VerbKind, local: Sge, rkey: RKey, off: u64) -> WorkRequest {
+    WorkRequest {
+        wr_id: WrId(9),
+        kind,
+        sgl: local.into(),
+        remote: Some((rkey, off)),
+        signaled: true,
+    }
+}
+
+// ---------------------------------------------------------------- E001
+
+#[test]
+fn e001_fires_on_remote_out_of_bounds() {
+    let mut p = skeleton();
+    p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 4090));
+    assert_eq!(codes(&p), vec![Code::E001]);
+    assert!(has_errors(&analyze(&p, &DeviceCaps::default())));
+}
+
+#[test]
+fn e001_fires_on_bad_rkey_and_local_oob_and_unknown_mr() {
+    let mut p = skeleton();
+    // Bad rkey: no MR 5 on machine 1.
+    p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(5), 0));
+    // Local SGE out of bounds.
+    p.post(QpNum(0), WorkRequest::write(2, Sge::new(MrId(0), 4000, 200), RKey(1), 0));
+    // Local SGE on an unregistered MR.
+    p.post(QpNum(0), WorkRequest::write(3, Sge::new(MrId(42), 0, 8), RKey(1), 0));
+    // Offset overflow must not wrap around.
+    p.post(QpNum(0), WorkRequest::write(4, Sge::new(MrId(0), u64::MAX, 16), RKey(1), 0));
+    assert_eq!(codes(&p), vec![Code::E001; 4]);
+}
+
+#[test]
+fn e001_silent_in_bounds() {
+    let mut p = skeleton();
+    p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 4032, 64), RKey(1), 4032));
+    p.poll(QpNum(0), 1);
+    assert!(codes(&p).is_empty());
+}
+
+// ---------------------------------------------------------------- E002
+
+#[test]
+fn e002_fires_on_misaligned_atomic() {
+    let mut p = skeleton();
+    p.post(QpNum(0), atomic(VerbKind::FetchAdd { delta: 1 }, Sge::new(MrId(0), 0, 8), RKey(1), 12));
+    assert_eq!(codes(&p), vec![Code::E002]);
+}
+
+#[test]
+fn e002_fires_on_wrong_sgl_size() {
+    let mut p = skeleton();
+    p.post(
+        QpNum(0),
+        atomic(
+            VerbKind::CompareSwap { expected: 0, desired: 1 },
+            Sge::new(MrId(0), 0, 16),
+            RKey(1),
+            8,
+        ),
+    );
+    assert_eq!(codes(&p), vec![Code::E002]);
+}
+
+#[test]
+fn e002_silent_on_aligned_8_byte_atomic() {
+    let mut p = skeleton();
+    p.post(QpNum(0), atomic(VerbKind::FetchAdd { delta: 1 }, Sge::new(MrId(0), 0, 8), RKey(1), 16));
+    p.poll(QpNum(0), 1);
+    assert!(codes(&p).is_empty());
+}
+
+// ---------------------------------------------------------------- E003
+
+fn tiny_caps() -> DeviceCaps {
+    DeviceCaps { sq_depth: 4, cq_depth: 4, ..DeviceCaps::default() }
+}
+
+// Reads, not writes, so the queue-pressure fixtures can't trip W203.
+fn unsignaled_reads(p: &mut VerbProgram, n: usize) {
+    for i in 0..n {
+        let mut w = WorkRequest::read(i as u64, Sge::new(MrId(0), 0, 8), RKey(1), 0);
+        w.signaled = false;
+        p.post(QpNum(0), w);
+    }
+}
+
+#[test]
+fn e003_fires_when_unsignaled_run_reaches_sq_depth() {
+    let mut p = skeleton();
+    unsignaled_reads(&mut p, 4);
+    let diags = analyze(&p, &tiny_caps());
+    let codes: Vec<Code> = diags.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![Code::E003]);
+    // Reported once at the WR that crosses the threshold, not per WR.
+    assert_eq!(diags[0].span.event, 3);
+}
+
+#[test]
+fn e003_silent_when_a_signaled_wr_breaks_the_run() {
+    let mut p = skeleton();
+    unsignaled_reads(&mut p, 3);
+    p.post(QpNum(0), WorkRequest::read(99, Sge::new(MrId(0), 0, 8), RKey(1), 0));
+    p.poll(QpNum(0), 1);
+    unsignaled_reads(&mut p, 3);
+    p.post(QpNum(0), WorkRequest::read(100, Sge::new(MrId(0), 0, 8), RKey(1), 0));
+    p.poll(QpNum(0), 1);
+    assert!(analyze(&p, &tiny_caps()).is_empty());
+}
+
+// ---------------------------------------------------------------- E004
+
+#[test]
+fn e004_fires_when_signaled_completions_exceed_cq_depth() {
+    let mut p = skeleton();
+    for i in 0..5u64 {
+        p.post(QpNum(0), WorkRequest::read(i, Sge::new(MrId(0), 0, 8), RKey(1), 0));
+    }
+    p.poll(QpNum(0), 5);
+    let diags = analyze(&p, &tiny_caps());
+    let codes: Vec<Code> = diags.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![Code::E004]);
+    assert_eq!(diags[0].span.event, 4, "the fifth signaled post overflows a 4-deep CQ");
+}
+
+#[test]
+fn e004_silent_when_polls_keep_up() {
+    let mut p = skeleton();
+    for round in 0..3 {
+        for i in 0..4u64 {
+            p.post(QpNum(0), WorkRequest::read(round * 4 + i, Sge::new(MrId(0), 0, 8), RKey(1), 0));
+        }
+        p.poll(QpNum(0), 4);
+    }
+    assert!(analyze(&p, &tiny_caps()).is_empty());
+}
+
+// ---------------------------------------------------------------- W101
+
+/// Skeleton with a second QP to the same remote machine.
+fn two_qp_skeleton() -> VerbProgram {
+    let mut p = skeleton();
+    p.qp(QpNum(1), 0, 1, 1, 1);
+    p
+}
+
+#[test]
+fn w101_fires_on_unordered_cross_qp_write_read_overlap() {
+    let mut p = two_qp_skeleton();
+    let w = p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
+    p.post(QpNum(1), WorkRequest::read(2, Sge::new(MrId(0), 128, 64), RKey(1), 32));
+    let diags = analyze(&p, &DeviceCaps::default());
+    let codes: Vec<Code> = diags.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![Code::W101]);
+    // The diagnostic names the earlier write as the related program point.
+    assert_eq!(diags[0].related.as_ref().unwrap().0.event, w);
+    assert!(!has_errors(&diags), "races are warnings: they may be intentional");
+}
+
+#[test]
+fn w101_fires_on_cross_qp_write_write_and_atomic_overlap() {
+    let mut p = two_qp_skeleton();
+    p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
+    p.post(QpNum(1), WorkRequest::write(2, Sge::new(MrId(0), 128, 64), RKey(1), 48));
+    let mut p2 = two_qp_skeleton();
+    p2.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
+    p2.post(
+        QpNum(1),
+        atomic(VerbKind::FetchAdd { delta: 1 }, Sge::new(MrId(0), 128, 8), RKey(1), 32),
+    );
+    assert_eq!(codes(&p), vec![Code::W101]);
+    assert_eq!(codes(&p2), vec![Code::W101]);
+}
+
+#[test]
+fn w101_silent_when_a_poll_orders_the_ops() {
+    let mut p = two_qp_skeleton();
+    p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
+    p.poll(QpNum(0), 1); // happens-before edge
+    p.post(QpNum(1), WorkRequest::read(2, Sge::new(MrId(0), 128, 64), RKey(1), 32));
+    p.poll(QpNum(1), 1);
+    assert!(codes(&p).is_empty());
+}
+
+#[test]
+fn w101_silent_on_disjoint_ranges_and_read_read() {
+    let mut p = two_qp_skeleton();
+    // Disjoint ranges.
+    p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
+    p.post(QpNum(1), WorkRequest::write(2, Sge::new(MrId(0), 128, 64), RKey(1), 1024));
+    p.poll(QpNum(0), 1);
+    p.poll(QpNum(1), 1);
+    // Read/read overlap carries no hazard.
+    p.post(QpNum(0), WorkRequest::read(3, Sge::new(MrId(0), 0, 64), RKey(1), 0));
+    p.post(QpNum(1), WorkRequest::read(4, Sge::new(MrId(0), 128, 64), RKey(1), 0));
+    assert!(codes(&p).is_empty());
+}
+
+// ---------------------------------------------------------------- W201
+
+#[test]
+fn w201_fires_on_oversized_sgl() {
+    let caps = DeviceCaps { max_sge: 2, ..DeviceCaps::default() };
+    let mut p = skeleton();
+    let sgl: Vec<Sge> = (0..3).map(|i| Sge::new(MrId(0), i * 64, 64)).collect();
+    p.post(
+        QpNum(0),
+        WorkRequest {
+            wr_id: WrId(1),
+            kind: VerbKind::Write,
+            sgl: sgl.into(),
+            remote: Some((RKey(1), 0)),
+            signaled: true,
+        },
+    );
+    let diags = analyze(&p, &caps);
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec![Code::W201]);
+}
+
+#[test]
+fn w201_silent_at_the_limit() {
+    let caps = DeviceCaps { max_sge: 2, ..DeviceCaps::default() };
+    let mut p = skeleton();
+    let sgl: Vec<Sge> = (0..2).map(|i| Sge::new(MrId(0), i * 64, 64)).collect();
+    p.post(
+        QpNum(0),
+        WorkRequest {
+            wr_id: WrId(1),
+            kind: VerbKind::Write,
+            sgl: sgl.into(),
+            remote: Some((RKey(1), 0)),
+            signaled: true,
+        },
+    );
+    p.poll(QpNum(0), 1);
+    assert!(analyze(&p, &caps).is_empty());
+}
+
+// ---------------------------------------------------------------- W202
+
+/// Deterministic page scramble for the thrash fixtures.
+fn scrambled_page(i: u64, pages: u64) -> u64 {
+    (i.wrapping_mul(2654435761)) % pages
+}
+
+#[test]
+fn w202_fires_on_random_stride_over_a_thrashing_region() {
+    let caps = DeviceCaps::default(); // 4 MB coverage
+    let mut p = VerbProgram::new();
+    p.mr(0, MrId(0), 1, 4096);
+    p.mr(1, MrId(1), 1, 64 << 20); // 64 MB >> 4 MB MTT coverage
+    p.qp(QpNum(0), 0, 1, 1, 1);
+    let pages = (64 << 20) / caps.page_bytes;
+    for i in 0..32u64 {
+        let off = scrambled_page(i, pages) * caps.page_bytes;
+        p.post(QpNum(0), WorkRequest::read(i, Sge::new(MrId(0), 0, 32), RKey(1), off));
+        p.poll(QpNum(0), 1);
+    }
+    let diags = analyze(&p, &caps);
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec![Code::W202]);
+}
+
+#[test]
+fn w202_silent_on_sequential_stride_and_on_small_regions() {
+    let caps = DeviceCaps::default();
+    // Sequential over the same huge region: one translation per page,
+    // prefetch-friendly — no lint.
+    let mut p = VerbProgram::new();
+    p.mr(0, MrId(0), 1, 4096);
+    p.mr(1, MrId(1), 1, 64 << 20);
+    p.qp(QpNum(0), 0, 1, 1, 1);
+    for i in 0..32u64 {
+        p.post(QpNum(0), WorkRequest::read(i, Sge::new(MrId(0), 0, 32), RKey(1), i * 1024));
+        p.poll(QpNum(0), 1);
+    }
+    assert!(analyze(&p, &caps).is_empty());
+
+    // Random over a region that fits MTT coverage (Fig 6d): no lint.
+    let mut p = VerbProgram::new();
+    p.mr(0, MrId(0), 1, 4096);
+    p.mr(1, MrId(1), 1, 2 << 20); // 2 MB < 4 MB coverage
+    p.qp(QpNum(0), 0, 1, 1, 1);
+    let pages = (2 << 20) / caps.page_bytes;
+    for i in 0..32u64 {
+        let off = scrambled_page(i, pages) * caps.page_bytes;
+        p.post(QpNum(0), WorkRequest::read(i, Sge::new(MrId(0), 0, 32), RKey(1), off));
+        p.poll(QpNum(0), 1);
+    }
+    assert!(analyze(&p, &caps).is_empty());
+}
+
+// ---------------------------------------------------------------- W203
+
+#[test]
+fn w203_fires_on_theta_small_writes_to_one_block() {
+    let opts = LintOptions { theta: 4, ..LintOptions::default() };
+    let mut p = skeleton();
+    for i in 0..4u64 {
+        p.post(QpNum(0), WorkRequest::write(i, Sge::new(MrId(0), 0, 64), RKey(1), i * 128));
+        p.poll(QpNum(0), 1);
+    }
+    let diags = analyze_with(&p, &DeviceCaps::default(), &opts);
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec![Code::W203]);
+    assert_eq!(diags[0].span.event, 6, "fires at the θ-th write, once");
+}
+
+#[test]
+fn w203_silent_on_spread_writes_and_large_writes() {
+    let opts = LintOptions { theta: 4, ..LintOptions::default() };
+    // Same count of small writes, spread across blocks (remote MR large
+    // enough to hold four 2 KB blocks).
+    let mut p = VerbProgram::new();
+    p.mr(0, MrId(0), 1, 4096);
+    p.mr(1, MrId(1), 1, 16384);
+    p.qp(QpNum(0), 0, 1, 1, 1);
+    for i in 0..4u64 {
+        p.post(QpNum(0), WorkRequest::write(i, Sge::new(MrId(0), 0, 64), RKey(1), i * 2048));
+        p.poll(QpNum(0), 1);
+    }
+    assert!(analyze_with(&p, &DeviceCaps::default(), &opts).is_empty());
+    // Large (already-consolidated) writes to one block.
+    let mut p = skeleton();
+    for i in 0..4u64 {
+        p.post(QpNum(0), WorkRequest::write(i, Sge::new(MrId(0), 0, 1024), RKey(1), 0));
+        p.poll(QpNum(0), 1);
+    }
+    assert!(analyze_with(&p, &DeviceCaps::default(), &opts).is_empty());
+}
+
+// ---------------------------------------------------------------- W204
+
+#[test]
+fn w204_fires_on_local_and_remote_misplacement() {
+    // Local buffer on socket 0, port on socket 1.
+    let mut p = VerbProgram::new();
+    p.mr(0, MrId(0), 0, 4096);
+    p.mr(1, MrId(1), 1, 4096);
+    p.qp(QpNum(0), 0, 1, 1, 1);
+    p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
+    p.poll(QpNum(0), 1);
+    assert_eq!(codes(&p), vec![Code::W204]);
+
+    // Remote region on socket 0, remote port on socket 1.
+    let mut p = VerbProgram::new();
+    p.mr(0, MrId(0), 1, 4096);
+    p.mr(1, MrId(1), 0, 4096);
+    p.qp(QpNum(0), 0, 1, 1, 1);
+    p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
+    p.poll(QpNum(0), 1);
+    assert_eq!(codes(&p), vec![Code::W204]);
+}
+
+#[test]
+fn w204_silent_on_affine_placement() {
+    let mut p = skeleton(); // everything on socket 1
+    p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
+    p.poll(QpNum(0), 1);
+    assert!(codes(&p).is_empty());
+}
+
+// ------------------------------------------------- cross-rule behavior
+
+#[test]
+fn multiple_rules_fire_together_in_event_order() {
+    let mut p = two_qp_skeleton();
+    // Out-of-bounds write: E001. An OOB op gets no tracked remote range,
+    // so it cannot also seed a W101.
+    p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 4090));
+    // Misaligned (but in-bounds) atomic: E002, and it stays outstanding.
+    p.post(
+        QpNum(0),
+        atomic(VerbKind::FetchAdd { delta: 1 }, Sge::new(MrId(0), 0, 8), RKey(1), 4084),
+    );
+    // Unordered overlapping write on the other QP: W101 against the atomic.
+    p.post(QpNum(1), WorkRequest::write(2, Sge::new(MrId(0), 64, 8), RKey(1), 4088));
+    let diags = analyze(&p, &DeviceCaps::default());
+    let codes: Vec<Code> = diags.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![Code::E001, Code::E002, Code::W101]);
+    assert!(has_errors(&diags));
+    // Event order is preserved.
+    assert!(diags.windows(2).all(|w| w[0].span.event <= w[1].span.event));
+}
+
+#[test]
+fn send_posts_are_exempt_from_remote_rules() {
+    let mut p = skeleton();
+    p.post(
+        QpNum(0),
+        WorkRequest {
+            wr_id: WrId(1),
+            kind: VerbKind::Send,
+            sgl: Sge::new(MrId(0), 0, 64).into(),
+            remote: None,
+            signaled: true,
+        },
+    );
+    p.poll(QpNum(0), 1);
+    assert!(codes(&p).is_empty());
+}

@@ -34,9 +34,8 @@ pub struct RelationPair {
 
 /// Generate a relation pair of `n` tuples each.
 pub fn generate(n: u64, rng: &mut SimRng) -> RelationPair {
-    let mut inner: Vec<Tuple> = (0..n)
-        .map(|i| Tuple { key: i, payload: i.wrapping_mul(0x9E37_79B9) })
-        .collect();
+    let mut inner: Vec<Tuple> =
+        (0..n).map(|i| Tuple { key: i, payload: i.wrapping_mul(0x9E37_79B9) }).collect();
     rng.shuffle(&mut inner);
     let outer: Vec<Tuple> = (0..n)
         .map(|_| {

@@ -128,9 +128,7 @@ mod tests {
     fn mixed_workload_respects_write_fraction() {
         let spec = KvSpec { write_fraction: 0.3, ..Default::default() };
         let mut s = KvStream::new(spec, SimRng::new(2));
-        let writes = (0..10_000)
-            .filter(|_| matches!(s.next_op(), KvOp::Insert { .. }))
-            .count();
+        let writes = (0..10_000).filter(|_| matches!(s.next_op(), KvOp::Insert { .. })).count();
         let frac = writes as f64 / 10_000.0;
         assert!((frac - 0.3).abs() < 0.03, "write fraction {frac}");
     }

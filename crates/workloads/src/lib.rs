@@ -16,7 +16,9 @@ pub mod log;
 pub mod shuffle;
 pub mod zipf;
 
-pub use join::{expected_matches, generate as generate_relations, partition_of, RelationPair, Tuple};
+pub use join::{
+    expected_matches, generate as generate_relations, partition_of, RelationPair, Tuple,
+};
 pub use kv::{value_for, KvOp, KvSpec, KvStream};
 pub use log::{crc32, scan as scan_log, Record, HEADER_BYTES};
 pub use shuffle::{Entry, EntryStream};

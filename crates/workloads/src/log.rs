@@ -23,9 +23,8 @@ impl Record {
     /// A record with a deterministic body derived from (engine, seq).
     pub fn synthetic(engine: u32, seq: u32, body_len: usize) -> Record {
         let mut body = Vec::with_capacity(body_len);
-        let seed = ((engine as u64) << 32 | seq as u64)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .to_le_bytes();
+        let seed =
+            ((engine as u64) << 32 | seq as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).to_le_bytes();
         while body.len() < body_len {
             body.extend_from_slice(&seed);
         }

@@ -98,7 +98,7 @@ mod tests {
 
     #[test]
     fn destinations_cover_all_consumers() {
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for e in EntryStream::new(10_000, 8, SimRng::new(2)) {
             seen[e.destination(16)] = true;
         }

@@ -42,11 +42,10 @@ fn main() {
         variant: HtVariant::ReorderLocked { theta: 16 },
         ..base.clone()
     });
+    println!("\nablation: flushing under remote spinlocks  {:6.2} MOPS", locked.mops);
     println!(
-        "\nablation: flushing under remote spinlocks  {:6.2} MOPS",
-        locked.mops
+        "  (three extra backend messages per flush; single-writer burst buffers don't need them)"
     );
-    println!("  (three extra backend messages per flush; single-writer burst buffers don't need them)");
 
     let faa = run_hashtable(&HtConfig { variant: HtVariant::VersionedFaa, ..base });
     println!("ablation: FAA-versioned inserts            {:6.2} MOPS", faa.mops);

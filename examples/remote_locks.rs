@@ -35,7 +35,10 @@ fn main() {
         print!(" {}", ticket.value);
         t = ticket.at;
     }
-    println!("   (~{:.2} MOPS sustained; atomic unit caps at ~2.35)", 1.0 / ((t - rel).as_us() / 5.0));
+    println!(
+        "   (~{:.2} MOPS sustained; atomic unit caps at ~2.35)",
+        1.0 / ((t - rel).as_us() / 5.0)
+    );
 
     // --- the space-reservation idiom of the distributed log ---------------
     let tk = seq.next_n(&mut tb, conn, t, Sge::new(scratch, 0, 8), 4096);
@@ -46,10 +49,7 @@ fn main() {
     let rpc_lock = RpcLock::new();
     let a = rpc_lock.lock(&mut tb, conn, t);
     let b = rpc_lock.unlock(&mut tb, conn, a.at);
-    println!(
-        "RPC lock cycle: {} (the server CPU is on the critical path)",
-        b - t
-    );
+    println!("RPC lock cycle: {} (the server CPU is on the critical path)", b - t);
     let rpc_seq = RpcSequencer::new();
     let p = rpc_seq.next(&mut tb, conn, b);
     println!("RPC sequencer ticket {} in {}", p.value, p.at - b);
@@ -57,9 +57,7 @@ fn main() {
     // --- multi-version entry -----------------------------------------------
     let entry = VersionedEntry { rkey, base: 256, slots: 4, value_len: 16 };
     let w = entry.write(&mut tb, conn, p.at, b"versioned-value!", scratch, 64);
-    let r = entry
-        .read(&mut tb, conn, w.at, scratch, 64)
-        .expect("a committed version exists");
+    let r = entry.read(&mut tb, conn, w.at, scratch, 64).expect("a committed version exists");
     println!(
         "versioned entry: wrote v{}, read back v{} = {:?}",
         w.version,

@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== format =="
+cargo fmt --check
+
 echo "== build (release) =="
 cargo build --release --offline
 
@@ -18,5 +21,8 @@ cargo build --benches --release --offline
 
 echo "== determinism check (serial vs parallel runner) =="
 cargo run --release --offline -p bench -- --check-determinism
+
+echo "== static verb analysis (verbcheck over every experiment program) =="
+cargo run --release --offline -p bench -- --lint all
 
 echo "CI OK"

@@ -30,19 +30,13 @@ fn warm_latency(kind: VerbKind, payload: u64) -> SimTime {
 #[test]
 fn small_write_latency_matches_fig1() {
     let lat = warm_latency(VerbKind::Write, 8);
-    assert!(
-        (lat.as_us() - 1.16).abs() < 0.05,
-        "small write latency {lat} off the 1.16us anchor"
-    );
+    assert!((lat.as_us() - 1.16).abs() < 0.05, "small write latency {lat} off the 1.16us anchor");
 }
 
 #[test]
 fn small_read_latency_matches_fig1() {
     let lat = warm_latency(VerbKind::Read, 8);
-    assert!(
-        (lat.as_us() - 2.00).abs() < 0.08,
-        "small read latency {lat} off the 2.00us anchor"
-    );
+    assert!((lat.as_us() - 2.00).abs() < 0.08, "small read latency {lat} off the 2.00us anchor");
 }
 
 #[test]
@@ -84,11 +78,7 @@ fn data_round_trips_through_two_hops() {
         ab,
         WorkRequest::write(1, Sge::new(a, 0, 27), RKey(b.0 as u64), 100),
     );
-    let r = tb.post_one(
-        w.at,
-        cb,
-        WorkRequest::read(2, Sge::new(c, 0, 27), RKey(b.0 as u64), 100),
-    );
+    let r = tb.post_one(w.at, cb, WorkRequest::read(2, Sge::new(c, 0, 27), RKey(b.0 as u64), 100));
     assert_eq!(r.status, CqeStatus::Success);
     assert_eq!(tb.machine(2).mem.read(c, 0, 27), b"relayed through machine one");
 }

@@ -47,8 +47,12 @@ fn remote_memory_matches_a_byte_model() {
                 Op::Write { off, data } => {
                     let off = *off as u64;
                     tb.machine_mut(0).mem.write(src, 0, data);
-                    let wr =
-                        WorkRequest::write(i as u64, Sge::new(src, 0, data.len() as u64), rkey, off);
+                    let wr = WorkRequest::write(
+                        i as u64,
+                        Sge::new(src, 0, data.len() as u64),
+                        rkey,
+                        off,
+                    );
                     let c = tb.post_one(t, conn, wr);
                     assert_eq!(c.status, CqeStatus::Success);
                     t = c.at;
