@@ -8,7 +8,8 @@
 //! repro all --jobs 4        # cap the worker threads (default: all cores)
 //! repro all --serial        # one worker (same output, more wall-clock)
 //! repro all --bench-json BENCH_engine.json   # machine-readable timings
-//! repro --check-determinism # prove serial and parallel runs agree
+//! repro --check-determinism # prove serial/parallel/unbatched runs agree
+//! repro --bench-compare BENCH_engine.json   # diff a fresh run vs baseline
 //! repro --lint all          # static verb analysis instead of running
 //! ```
 //!
@@ -82,8 +83,21 @@ fn bench_json(runs: &[GroupRun], total_wall_ms: f64, jobs: usize) -> String {
     s
 }
 
-/// Run a small experiment set once serially and once in parallel and
-/// require byte-identical rendered output. Exits non-zero on divergence.
+/// Print the first diverging line pair and exit non-zero.
+fn determinism_failed(kind: &str, a: &str, b: &str) -> ! {
+    eprintln!("determinism check FAILED: {kind} output differs");
+    for (ls, lp) in a.lines().zip(b.lines()) {
+        if ls != lp {
+            eprintln!("  expected: {ls}");
+            eprintln!("  got     : {lp}");
+        }
+    }
+    std::process::exit(1);
+}
+
+/// Run a small experiment set three ways — serially, in parallel, and
+/// with the batched device pipeline disabled — and require byte-identical
+/// rendered output from all three. Exits non-zero on divergence.
 fn check_determinism(scale: Scale) {
     let ids = ["table1", "table2"];
     set_parallelism(Some(1));
@@ -92,21 +106,111 @@ fn check_determinism(scale: Scale) {
     let parallel =
         par_map(ids.iter().map(|id| id.to_string()).collect(), |id| run_group(id, scale));
     let (a, b) = (render_all(&serial), render_all(&parallel));
-    if a == b {
-        println!(
-            "determinism check passed: serial and parallel output identical ({} bytes)",
-            a.len()
-        );
-    } else {
-        eprintln!("determinism check FAILED: serial and parallel output differ");
-        for (ls, lp) in a.lines().zip(b.lines()) {
-            if ls != lp {
-                eprintln!("  serial  : {ls}");
-                eprintln!("  parallel: {lp}");
-            }
+    if a != b {
+        determinism_failed("serial vs parallel", &a, &b);
+    }
+    // Third leg: the batched device pipeline (translation memos, bulk
+    // data effects) against the unbatched reference path. Exactness of
+    // every fast path means the rendered experiments must not move by a
+    // single byte.
+    cluster::set_batched_default(false);
+    set_parallelism(Some(1));
+    let unbatched: Vec<GroupRun> = ids.iter().map(|id| run_group(id.to_string(), scale)).collect();
+    cluster::set_batched_default(true);
+    set_parallelism(None);
+    let c = render_all(&unbatched);
+    if a != c {
+        determinism_failed("batched vs unbatched pipeline", &a, &c);
+    }
+    println!(
+        "determinism check passed: serial, parallel, and unbatched-pipeline output identical ({} bytes)",
+        a.len()
+    );
+}
+
+/// One experiment row parsed back out of a committed bench JSON.
+struct BaselineRow {
+    id: String,
+    wall_ms: f64,
+    sim_ops: u64,
+}
+
+/// Parse the hand-rolled `bench-engine-v1` JSON (the inverse of
+/// [`bench_json`]; still no serde in the offline container). Only the
+/// per-experiment rows are needed.
+fn parse_baseline(text: &str) -> Vec<BaselineRow> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let start = line.find(&format!("\"{key}\": "))? + key.len() + 4;
+        let rest = &line[start..];
+        let rest = rest.strip_prefix('"').unwrap_or(rest);
+        let end = rest.find([',', '"', '}']).unwrap_or(rest.len());
+        Some(&rest[..end])
+    }
+    text.lines()
+        .filter(|l| l.trim_start().starts_with("{\"id\""))
+        .filter_map(|l| {
+            Some(BaselineRow {
+                id: field(l, "id")?.to_string(),
+                wall_ms: field(l, "wall_ms")?.parse().ok()?,
+                sim_ops: field(l, "sim_ops")?.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+/// Re-run every experiment recorded in `baseline` and diff: `sim_ops`
+/// must match **exactly** (simulated work is deterministic; any drift is
+/// a behaviour change), wall-clock regressions beyond 25 % are flagged as
+/// warnings (timing is hardware-dependent, so they don't fail the run).
+fn bench_compare(path: &PathBuf, scale: Scale) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    let baseline = parse_baseline(&text);
+    if baseline.is_empty() {
+        eprintln!("no experiment rows found in {}", path.display());
+        std::process::exit(2);
+    }
+    let runs = par_map(baseline.iter().map(|r| r.id.clone()).collect(), |id| run_group(id, scale));
+    let mut drift = 0usize;
+    let mut slower = 0usize;
+    for (base, fresh) in baseline.iter().zip(&runs) {
+        if base.sim_ops != fresh.sim_ops {
+            eprintln!(
+                "DRIFT {}: sim_ops {} (baseline) != {} (fresh)",
+                base.id, base.sim_ops, fresh.sim_ops
+            );
+            drift += 1;
         }
+        if base.wall_ms > 0.0 && fresh.wall_ms > base.wall_ms * 1.25 {
+            eprintln!(
+                "warning {}: wall {:.1}ms is {:.0}% over baseline {:.1}ms",
+                base.id,
+                fresh.wall_ms,
+                (fresh.wall_ms / base.wall_ms - 1.0) * 100.0,
+                base.wall_ms
+            );
+            slower += 1;
+        }
+        println!(
+            "{:10} sim_ops {:>12} {} wall {:>8.1}ms (baseline {:.1}ms)",
+            base.id,
+            fresh.sim_ops,
+            if base.sim_ops == fresh.sim_ops { "==" } else { "!=" },
+            fresh.wall_ms,
+            base.wall_ms
+        );
+    }
+    if drift > 0 {
+        eprintln!("bench-compare FAILED: {drift} experiment(s) drifted in sim_ops");
         std::process::exit(1);
     }
+    println!(
+        "bench-compare passed: {} experiment(s) match baseline sim_ops exactly{}",
+        baseline.len(),
+        if slower > 0 { format!(", {slower} wall-time warning(s)") } else { String::new() }
+    );
 }
 
 fn main() {
@@ -116,6 +220,7 @@ fn main() {
     let mut json_path: Option<PathBuf> = None;
     let mut do_check = false;
     let mut do_lint = false;
+    let mut compare_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -134,6 +239,12 @@ fn main() {
             }
             "--check-determinism" => do_check = true,
             "--lint" => do_lint = true,
+            "--bench-compare" => {
+                compare_path = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--bench-compare needs a baseline json path");
+                    std::process::exit(2);
+                })));
+            }
             "--bench-json" => {
                 json_path = Some(PathBuf::from(args.next().unwrap_or_else(|| {
                     eprintln!("--bench-json needs a file path");
@@ -151,7 +262,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [all | micro | <id>...] [--paper-scale] [--out DIR] \
-                     [--serial | --jobs N] [--bench-json PATH] [--check-determinism] [--lint]"
+                     [--serial | --jobs N] [--bench-json PATH] [--bench-compare PATH] \
+                     [--check-determinism] [--lint]"
                 );
                 println!("ids: {ALL_IDS:?}");
                 return;
@@ -161,6 +273,12 @@ fn main() {
     }
     if do_check {
         check_determinism(scale);
+        if ids.is_empty() && compare_path.is_none() {
+            return;
+        }
+    }
+    if let Some(path) = &compare_path {
+        bench_compare(path, scale);
         if ids.is_empty() {
             return;
         }

@@ -43,6 +43,9 @@ pub mod memory;
 pub mod testbed;
 
 pub use config::{ClusterConfig, NumaPenalties, RpcConfig};
-pub use engine::{run_clients, Client, ClosedLoop, Step};
+pub use engine::{run_clients, BatchLoop, Client, ClosedLoop, Step};
 pub use memory::{MemoryPool, Region};
-pub use testbed::{ConnId, Endpoint, Machine, Testbed, Transport, UD_GRH_BYTES};
+pub use testbed::{
+    batched_default, set_batched_default, ConnId, Endpoint, Machine, Testbed, Transport,
+    UD_GRH_BYTES,
+};

@@ -6,9 +6,18 @@
 //! purely as benchmark targets (e.g. the 2 GB region of Fig 6) can be
 //! registered *unbacked* to avoid allocating gigabytes: writes to them are
 //! timed but discarded, reads return zeros.
+//!
+//! MR ids are dense and never reused (deregistration leaves a hole), so
+//! the pool is a plain `Vec` indexed by id — region lookup on the verb hot
+//! path is a bounds-checked array index, not a hash. The data-effect fast
+//! paths ([`try_slice`]/[`try_slice_mut`]) expose whole ranges as slices
+//! so verbs copy payloads in one `memcpy` instead of staging them through
+//! an intermediate buffer.
+//!
+//! [`try_slice`]: MemoryPool::try_slice
+//! [`try_slice_mut`]: MemoryPool::try_slice_mut
 
 use rnicsim::MrId;
-use std::collections::HashMap;
 
 /// One registered memory region (MR) on a machine.
 pub struct Region {
@@ -29,8 +38,9 @@ impl Region {
 /// All registered regions of one machine.
 #[derive(Default)]
 pub struct MemoryPool {
-    regions: HashMap<MrId, Region>,
-    next: u32,
+    /// Indexed by `MrId.0`; `None` marks a deregistered id (never reused).
+    regions: Vec<Option<Region>>,
+    live: usize,
 }
 
 impl MemoryPool {
@@ -51,51 +61,58 @@ impl MemoryPool {
     }
 
     fn insert(&mut self, region: Region) -> MrId {
-        let id = MrId(self.next);
-        self.next += 1;
-        self.regions.insert(id, region);
+        let id = MrId(self.regions.len() as u32);
+        self.regions.push(Some(region));
+        self.live += 1;
         id
     }
 
     /// Deregister a region; returns whether it existed.
     pub fn deregister(&mut self, mr: MrId) -> bool {
-        self.regions.remove(&mr).is_some()
+        match self.regions.get_mut(mr.0 as usize) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Region metadata, if registered.
     pub fn region(&self, mr: MrId) -> Option<&Region> {
-        self.regions.get(&mr)
+        self.regions.get(mr.0 as usize).and_then(Option::as_ref)
     }
 
     /// Number of live regions.
     pub fn region_count(&self) -> usize {
-        self.regions.len()
+        self.live
     }
 
     /// All live regions in ascending MR-id order (deterministic — the
     /// static checker declares them into a [`verbcheck::VerbProgram`]).
     pub fn iter(&self) -> impl Iterator<Item = (MrId, &Region)> {
-        let mut ids: Vec<MrId> = self.regions.keys().copied().collect();
-        ids.sort_by_key(|id| id.0);
-        ids.into_iter().map(move |id| (id, &self.regions[&id]))
+        self.regions.iter().enumerate().filter_map(|(i, r)| r.as_ref().map(|r| (MrId(i as u32), r)))
     }
 
     /// Bounds check a span.
     pub fn check(&self, mr: MrId, offset: u64, len: u64) -> bool {
-        match self.regions.get(&mr) {
+        match self.region(mr) {
             Some(r) => offset.checked_add(len).is_some_and(|end| end <= r.len),
             None => false,
         }
+    }
+
+    fn expect_region(&self, mr: MrId) -> &Region {
+        self.region(mr).expect("unknown MR")
     }
 
     /// Read bytes (zeros if the region is unbacked). Panics if out of
     /// bounds — callers must `check` first; verbs surface bounds errors as
     /// CQE statuses before touching data.
     pub fn read(&self, mr: MrId, offset: u64, len: u64) -> Vec<u8> {
-        let r = &self.regions[&mr];
-        assert!(offset + len <= r.len, "read out of bounds");
-        match &r.data {
-            Some(d) => d[offset as usize..(offset + len) as usize].to_vec(),
+        match self.try_slice(mr, offset, len) {
+            Some(s) => s.to_vec(),
             None => vec![0; len as usize],
         }
     }
@@ -106,27 +123,66 @@ impl MemoryPool {
     ///
     /// [`read`]: MemoryPool::read
     pub fn read_into(&self, mr: MrId, offset: u64, len: u64, out: &mut Vec<u8>) {
-        let r = &self.regions[&mr];
-        assert!(offset + len <= r.len, "read out of bounds");
-        match &r.data {
-            Some(d) => out.extend_from_slice(&d[offset as usize..(offset + len) as usize]),
+        match self.try_slice(mr, offset, len) {
+            Some(s) => out.extend_from_slice(s),
             None => out.resize(out.len() + len as usize, 0),
+        }
+    }
+
+    /// The span as a borrowed slice, or `None` if the region is unbacked.
+    /// Panics if out of bounds (same contract as [`read`]) — this is the
+    /// bulk read path: one slice, zero copies.
+    ///
+    /// [`read`]: MemoryPool::read
+    pub fn try_slice(&self, mr: MrId, offset: u64, len: u64) -> Option<&[u8]> {
+        let r = self.expect_region(mr);
+        assert!(offset + len <= r.len, "read out of bounds");
+        r.data.as_ref().map(|d| &d[offset as usize..(offset + len) as usize])
+    }
+
+    /// The span as a mutable slice, or `None` if the region is unbacked
+    /// (writes to unbacked regions are discarded, so callers simply skip
+    /// the copy). Panics if out of bounds — this is the bulk write path.
+    pub fn try_slice_mut(&mut self, mr: MrId, offset: u64, len: u64) -> Option<&mut [u8]> {
+        let r = self.regions[mr.0 as usize].as_mut().expect("unknown MR");
+        assert!(offset + len <= r.len, "write out of bounds");
+        r.data.as_mut().map(|d| &mut d[offset as usize..(offset + len) as usize])
+    }
+
+    /// Copy `len` bytes between two *distinct* regions of this pool in
+    /// one bulk move — the CPU-gather (SP) path uses this instead of
+    /// staging through a temporary. An unbacked source copies zeros; an
+    /// unbacked destination discards the copy. Panics if out of bounds or
+    /// if the regions are the same.
+    pub fn copy_within(&mut self, src: MrId, src_off: u64, dst: MrId, dst_off: u64, len: u64) {
+        assert_ne!(src, dst, "copy_within needs two distinct regions");
+        let (a, b) = (src.0 as usize, dst.0 as usize);
+        let (lo, hi) = self.regions.split_at_mut(a.max(b));
+        let (src_r, dst_r) =
+            if a < b { (lo[a].as_ref(), hi[0].as_mut()) } else { (hi[0].as_ref(), lo[b].as_mut()) };
+        let src_r = src_r.expect("unknown source MR");
+        let dst_r = dst_r.expect("unknown destination MR");
+        assert!(src_off + len <= src_r.len, "read out of bounds");
+        assert!(dst_off + len <= dst_r.len, "write out of bounds");
+        let Some(d) = dst_r.data.as_mut() else { return };
+        let dst_slice = &mut d[dst_off as usize..(dst_off + len) as usize];
+        match src_r.data.as_ref() {
+            Some(s) => dst_slice.copy_from_slice(&s[src_off as usize..(src_off + len) as usize]),
+            None => dst_slice.fill(0),
         }
     }
 
     /// Write bytes (discarded if the region is unbacked).
     pub fn write(&mut self, mr: MrId, offset: u64, bytes: &[u8]) {
-        let r = self.regions.get_mut(&mr).expect("unknown MR");
-        assert!(offset + bytes.len() as u64 <= r.len, "write out of bounds");
-        if let Some(d) = &mut r.data {
-            d[offset as usize..offset as usize + bytes.len()].copy_from_slice(bytes);
+        if let Some(dst) = self.try_slice_mut(mr, offset, bytes.len() as u64) {
+            dst.copy_from_slice(bytes);
         }
     }
 
     /// Load the u64 at `offset` (little endian). Requires a backed region
     /// — atomics on unbacked memory would silently lose state.
     pub fn load_u64(&self, mr: MrId, offset: u64) -> u64 {
-        let r = &self.regions[&mr];
+        let r = self.expect_region(mr);
         let d = r.data.as_ref().expect("atomic access needs a backed region");
         let s = &d[offset as usize..offset as usize + 8];
         u64::from_le_bytes(s.try_into().expect("8 bytes"))
@@ -134,7 +190,7 @@ impl MemoryPool {
 
     /// Store the u64 at `offset` (little endian).
     pub fn store_u64(&mut self, mr: MrId, offset: u64, value: u64) {
-        let r = self.regions.get_mut(&mr).expect("unknown MR");
+        let r = self.regions[mr.0 as usize].as_mut().expect("unknown MR");
         let d = r.data.as_mut().expect("atomic access needs a backed region");
         d[offset as usize..offset as usize + 8].copy_from_slice(&value.to_le_bytes());
     }
@@ -212,5 +268,48 @@ mod tests {
         let mut m = MemoryPool::new();
         let mr = m.register(1, 8);
         assert_eq!(m.region(mr).unwrap().socket, 1);
+    }
+
+    #[test]
+    fn iter_skips_holes_in_id_order() {
+        let mut m = MemoryPool::new();
+        let a = m.register(0, 8);
+        let b = m.register(1, 16);
+        let c = m.register(0, 32);
+        m.deregister(b);
+        let ids: Vec<MrId> = m.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![a, c]);
+    }
+
+    #[test]
+    fn copy_within_moves_bytes_between_regions() {
+        let mut m = MemoryPool::new();
+        let a = m.register(0, 64);
+        let b = m.register(0, 64);
+        m.write(a, 4, b"bulk");
+        m.copy_within(a, 4, b, 32, 4);
+        assert_eq!(m.read(b, 32, 4), b"bulk");
+        // Reverse direction (src id > dst id) works too.
+        m.write(b, 0, b"back");
+        m.copy_within(b, 0, a, 0, 4);
+        assert_eq!(m.read(a, 0, 4), b"back");
+        // Unbacked source copies zeros; unbacked destination discards.
+        let u = m.register_unbacked(0, 64);
+        m.copy_within(u, 0, a, 4, 4);
+        assert_eq!(m.read(a, 4, 4), vec![0; 4]);
+        m.copy_within(a, 0, u, 0, 4); // no panic, no effect
+        assert_eq!(m.read(u, 0, 4), vec![0; 4]);
+    }
+
+    #[test]
+    fn slices_expose_ranges_and_unbacked_is_none() {
+        let mut m = MemoryPool::new();
+        let mr = m.register(0, 64);
+        m.try_slice_mut(mr, 8, 4).unwrap().copy_from_slice(b"data");
+        assert_eq!(m.try_slice(mr, 8, 4).unwrap(), b"data");
+        assert_eq!(m.read(mr, 8, 4), b"data");
+        let u = m.register_unbacked(0, 64);
+        assert!(m.try_slice(u, 0, 8).is_none());
+        assert!(m.try_slice_mut(u, 0, 8).is_none());
     }
 }

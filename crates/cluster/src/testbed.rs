@@ -12,6 +12,25 @@ use crate::config::ClusterConfig;
 use crate::memory::MemoryPool;
 use rnicsim::{Completion, CqeStatus, MrId, QpNum, Rnic, VerbKind, WorkRequest};
 use simcore::{KServer, SimTime};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide default for [`Testbed::set_batched`], sampled at
+/// [`Testbed::new`]. The batched device pipeline (per-QP translation
+/// memos, bulk single-`memcpy` data effects) is semantically exact, so it
+/// is on by default; `repro --check-determinism` flips this off for a
+/// reference run and asserts byte-identical experiment output.
+static BATCHED_DEFAULT: AtomicBool = AtomicBool::new(true);
+
+/// Set the process-wide default for the batched device pipeline. Only
+/// affects testbeds constructed afterwards.
+pub fn set_batched_default(on: bool) {
+    BATCHED_DEFAULT.store(on, Ordering::SeqCst);
+}
+
+/// Current process-wide default for the batched device pipeline.
+pub fn batched_default() -> bool {
+    BATCHED_DEFAULT.load(Ordering::SeqCst)
+}
 
 /// One side of a connection: which machine, which NIC port, and which
 /// socket the issuing (or serving) core runs on.
@@ -95,6 +114,9 @@ pub struct Testbed {
     /// When set, every doorbell batch is statically checked before it is
     /// simulated; error-severity findings panic (see [`Testbed::set_checked`]).
     checked: bool,
+    /// Whether posts use the batched device pipeline (see
+    /// [`Testbed::set_batched`]).
+    batched: bool,
 }
 
 impl Testbed {
@@ -115,7 +137,18 @@ impl Testbed {
             cqe_scratch: Vec::new(),
             data_scratch: Vec::new(),
             checked: false,
+            batched: batched_default(),
         }
+    }
+
+    /// Enable or disable the *batched device pipeline* for this testbed:
+    /// per-QP translation memos on MTT touches and bulk (single-`memcpy`)
+    /// data effects that skip staging entirely for unbacked regions. Both
+    /// are exact — completions, data effects, and MTT/QPC hit/miss
+    /// counters are byte-identical either way; the unbatched path exists
+    /// as the reference the determinism check compares against.
+    pub fn set_batched(&mut self, on: bool) {
+        self.batched = on;
     }
 
     /// Immutable access to a machine.
@@ -309,6 +342,7 @@ impl Testbed {
             }
         }
         simcore::opcount::add(wrs.len() as u64);
+        let batched = self.batched;
         let c = &self.conns[conn.0 as usize];
         let (client, server) = (c.client, c.server);
         let (client_qpn, server_qpn) = (c.client_qpn, c.server_qpn);
@@ -366,8 +400,16 @@ impl Testbed {
             // WQE (occupancy); the rest of each miss's latency overlaps
             // with later WQEs and is added after the pipeline stage.
             let mut misses = 0u64;
-            for sge in &wr.sgl {
-                misses += cm.rnic.mtt_touch(sge.mr, sge.offset, sge.len);
+            if batched {
+                // Batched pipeline: translations go through the QP's memo,
+                // so a run of touches to one page skips the MTT LRU.
+                for sge in &wr.sgl {
+                    misses += cm.rnic.mtt_touch_qp(client_qpn, sge.mr, sge.offset, sge.len);
+                }
+            } else {
+                for sge in &wr.sgl {
+                    misses += cm.rnic.mtt_touch(sge.mr, sge.offset, sge.len);
+                }
             }
             let stall = cm.rnic.qpc_touch(client_qpn) + cfg.rnic.mtt_miss_occupancy * misses;
             let miss_lat = (cfg.rnic.mtt_miss_penalty - cfg.rnic.mtt_miss_occupancy) * misses;
@@ -384,7 +426,11 @@ impl Testbed {
             let mut r_miss_lat = SimTime::ZERO;
             let remote_region_socket = wr.remote.map(|(rkey, off)| {
                 let mr = MrId(rkey.0 as u32);
-                let r_misses = sm.rnic.mtt_touch(mr, off, payload);
+                let r_misses = if batched {
+                    sm.rnic.mtt_touch_qp(server_qpn, mr, off, payload)
+                } else {
+                    sm.rnic.mtt_touch(mr, off, payload)
+                };
                 r_stall += cfg.rnic.mtt_miss_occupancy * r_misses;
                 r_miss_lat = (cfg.rnic.mtt_miss_penalty - cfg.rnic.mtt_miss_occupancy) * r_misses;
                 sm.mem.region(mr).expect("validated").socket
@@ -427,9 +473,16 @@ impl Testbed {
                     }
                     // Data effect (Send carries no remote address).
                     if let (VerbKind::Write, Some((rkey, off))) = (&wr.kind, wr.remote) {
-                        data.clear();
-                        gather_bytes_into(cm, wr, &mut data);
-                        sm.mem.write(MrId(rkey.0 as u32), off, &data);
+                        if batched {
+                            // Bulk path: gather straight into the remote
+                            // region — or skip entirely when the write is
+                            // discarded (unbacked benchmark target).
+                            write_effect(cm, sm, wr, MrId(rkey.0 as u32), off);
+                        } else {
+                            data.clear();
+                            gather_bytes_into(cm, wr, &mut data);
+                            sm.mem.write(MrId(rkey.0 as u32), off, &data);
+                        }
                     }
                     match transport {
                         // RC: the ACK round trip defines completion.
@@ -466,9 +519,15 @@ impl Testbed {
                     }
                     // Data effect.
                     if let Some((rkey, off)) = wr.remote {
-                        data.clear();
-                        sm.mem.read_into(MrId(rkey.0 as u32), off, payload, &mut data);
-                        scatter_bytes(cm, wr, &data);
+                        if batched {
+                            // Bulk path: scatter straight from the remote
+                            // region into the local SGL, no staging copy.
+                            read_effect(cm, sm, wr, MrId(rkey.0 as u32), off);
+                        } else {
+                            data.clear();
+                            sm.mem.read_into(MrId(rkey.0 as u32), off, payload, &mut data);
+                            scatter_bytes(cm, wr, &data);
+                        }
                     }
                     (landed, 0)
                 }
@@ -538,6 +597,24 @@ impl Testbed {
         let cqe = cqes[0];
         self.cqe_scratch = cqes;
         cqe
+    }
+
+    /// Post a doorbell batch and return the completion train through the
+    /// testbed's reused CQE buffer — the batched counterpart of
+    /// [`Testbed::post_one_ref`]: one coalesced completion slice per
+    /// doorbell, no allocation per batch. The slice is valid until the
+    /// next post through this testbed.
+    pub fn post_scratch(
+        &mut self,
+        now: SimTime,
+        conn: ConnId,
+        wrs: &[WorkRequest],
+    ) -> &[Completion] {
+        let mut cqes = std::mem::take(&mut self.cqe_scratch);
+        cqes.clear();
+        self.post_into(now, conn, wrs, &mut cqes);
+        self.cqe_scratch = cqes;
+        &self.cqe_scratch
     }
 
     /// A two-sided RPC round trip (channel semantics, Send/Recv): the
@@ -631,6 +708,44 @@ fn validate(cm: &Machine, sm: &Machine, wr: &WorkRequest) -> Option<CqeStatus> {
             }
             None => Some(CqeStatus::RemoteAccessError),
         },
+    }
+}
+
+/// Batched-pipeline data effect of a Write: copy each local SGE straight
+/// into the remote span — one `memcpy` per SGE, no staging buffer. An
+/// unbacked destination discards the write, so the gather is skipped
+/// entirely; an unbacked source SGE contributes zeros. Byte-for-byte
+/// equivalent to `gather_bytes_into` + `MemoryPool::write`.
+fn write_effect(cm: &Machine, sm: &mut Machine, wr: &WorkRequest, dst_mr: MrId, dst_off: u64) {
+    let Some(dst) = sm.mem.try_slice_mut(dst_mr, dst_off, wr.payload_bytes()) else {
+        return;
+    };
+    let mut cursor = 0usize;
+    for sge in &wr.sgl {
+        let seg = &mut dst[cursor..cursor + sge.len as usize];
+        match cm.mem.try_slice(sge.mr, sge.offset, sge.len) {
+            Some(src) => seg.copy_from_slice(src),
+            None => seg.fill(0),
+        }
+        cursor += sge.len as usize;
+    }
+}
+
+/// Batched-pipeline data effect of a Read: scatter the remote span
+/// straight into the local SGL — one `memcpy` per SGE, no staging buffer.
+/// An unbacked remote source reads as zeros; unbacked local SGEs discard
+/// their share. Byte-for-byte equivalent to `read_into` + `scatter_bytes`.
+fn read_effect(cm: &mut Machine, sm: &Machine, wr: &WorkRequest, src_mr: MrId, src_off: u64) {
+    let src = sm.mem.try_slice(src_mr, src_off, wr.payload_bytes());
+    let mut cursor = 0usize;
+    for sge in &wr.sgl {
+        if let Some(dst) = cm.mem.try_slice_mut(sge.mr, sge.offset, sge.len) {
+            match src {
+                Some(s) => dst.copy_from_slice(&s[cursor..cursor + sge.len as usize]),
+                None => dst.fill(0),
+            }
+        }
+        cursor += sge.len as usize;
     }
 }
 
@@ -982,6 +1097,76 @@ mod tests {
     fn loopback_connections_are_rejected() {
         let mut tb = Testbed::new(ClusterConfig::two_machines());
         tb.connect(Endpoint::affine(0, 0), Endpoint::affine(0, 1));
+    }
+
+    /// The batched device pipeline is pure optimization: driving the same
+    /// mixed workload (writes, reads, SGL gathers, atomics, doorbell
+    /// trains, backed and unbacked regions, two interleaved connections)
+    /// through both pipelines must yield identical CQEs, identical memory
+    /// bytes, and identical MTT/QPC hit/miss counters on every NIC.
+    #[test]
+    fn batched_pipeline_is_byte_identical_to_unbatched() {
+        let run = |batched: bool| {
+            let mut tb = Testbed::new(ClusterConfig::two_machines());
+            tb.set_batched(batched);
+            let src = tb.register(0, 1, 1 << 20);
+            let dst = tb.register(1, 1, 1 << 20);
+            let ubk = tb.register_unbacked(1, 1, 1 << 20);
+            let c1 = tb.connect(Endpoint::affine(0, 1), Endpoint::affine(1, 1));
+            let c2 = tb.connect(Endpoint::affine(0, 0), Endpoint::affine(1, 0));
+            for i in 0..64u64 {
+                tb.machine_mut(0).mem.store_u64(src, i * 8, i.wrapping_mul(0x9E3779B97F4A7C15));
+            }
+            let mut cqes = Vec::new();
+            let mut t = SimTime::ZERO;
+            for round in 0..50u64 {
+                let conn = if round % 3 == 0 { c2 } else { c1 };
+                let off = (round * 96) % 4000;
+                let wrs = [
+                    WorkRequest {
+                        signaled: false,
+                        ..WorkRequest::write(round * 10, Sge::new(src, off, 32), rkey(dst), off)
+                    },
+                    WorkRequest::write(round * 10 + 1, Sge::new(src, off, 64), rkey(ubk), off),
+                    WorkRequest {
+                        wr_id: WrId(round * 10 + 2),
+                        kind: VerbKind::Write,
+                        sgl: [Sge::new(src, 0, 16), Sge::new(src, 512, 16)].into(),
+                        remote: Some((rkey(dst), 8192 + off)),
+                        signaled: true,
+                    },
+                    WorkRequest::read(
+                        round * 10 + 3,
+                        Sge::new(src, 4096 + off, 48),
+                        rkey(dst),
+                        off,
+                    ),
+                    WorkRequest::read(round * 10 + 4, Sge::new(src, 8192, 16), rkey(ubk), off),
+                    WorkRequest {
+                        wr_id: WrId(round * 10 + 5),
+                        kind: VerbKind::FetchAdd { delta: round },
+                        sgl: Sge::new(src, 16384, 8).into(),
+                        remote: Some((rkey(dst), 32768)),
+                        signaled: true,
+                    },
+                ];
+                let batch = tb.post(t, conn, &wrs);
+                t = batch.last().expect("signaled tail").at;
+                cqes.extend(batch);
+            }
+            let src_bytes = tb.machine(0).mem.read(src, 0, 1 << 20);
+            let dst_bytes = tb.machine(1).mem.read(dst, 0, 1 << 20);
+            let stats: Vec<_> = (0..2)
+                .map(|m| (tb.machine(m).rnic.mtt.stats(), tb.machine(m).rnic.qpc.stats()))
+                .collect();
+            (cqes, src_bytes, dst_bytes, stats)
+        };
+        let fast = run(true);
+        let slow = run(false);
+        assert_eq!(fast.0, slow.0, "completion trains diverged");
+        assert_eq!(fast.1, slow.1, "client memory diverged");
+        assert_eq!(fast.2, slow.2, "server memory diverged");
+        assert_eq!(fast.3, slow.3, "MTT/QPC counters diverged");
     }
 }
 

@@ -96,8 +96,9 @@ pub fn batched_write(
             let mut cursor = 0u64;
             let mut copy_cost = SimTime::ZERO;
             for sge in bufs {
-                let data = tb.machine(client.machine).mem.read(sge.mr, sge.offset, sge.len);
-                tb.machine_mut(client.machine).mem.write(staging, cursor, &data);
+                tb.machine_mut(client.machine)
+                    .mem
+                    .copy_within(sge.mr, sge.offset, staging, cursor, sge.len);
                 cursor += sge.len;
                 copy_cost += tb.cfg.host.memcpy_cost(sge.len as usize) + tb.cfg.host.l1_touch;
             }
@@ -142,8 +143,7 @@ pub fn batched_write(
                     signaled: i == bufs.len() - 1,
                 })
                 .collect();
-            let cqes = tb.post(now, conn, &wrs);
-            let done = cqes.last().expect("last WR is signaled").at;
+            let done = tb.post_scratch(now, conn, &wrs).last().expect("last WR is signaled").at;
             // CPU cost: one MMIO plus queuing N WQEs into the send queue.
             let cpu = tb.cfg.rnic.mmio_cost + tb.cfg.host.l1_touch * bufs.len() as u64;
             BatchOutcome { done, cpu_busy: cpu, ops: bufs.len() as u64 }

@@ -23,15 +23,28 @@ pub fn table2(cfg: &HostMemConfig) -> (SocketProbe, SocketProbe) {
 
 fn probe_socket(cfg: &HostMemConfig, cross_socket: bool) -> SocketProbe {
     // Latency: a chain of dependent single-line loads; each pays the full
-    // idle DRAM (± QPI) latency, no overlap possible.
+    // idle DRAM (± QPI) latency, no overlap possible. Every chase is a
+    // simulated operation (the bench harness reports ops/sec per
+    // experiment, and a probe is real simulated work, not a constant).
     const CHASES: u64 = 4096;
     let per = if cross_socket { cfg.remote_latency } else { cfg.local_latency };
-    let total = per * CHASES;
+    let mut total = SimTime::ZERO;
+    for _ in 0..CHASES {
+        total += per;
+    }
+    simcore::opcount::add(CHASES);
     let latency = total / CHASES;
 
-    // Bandwidth: stream a large buffer and divide.
+    // Bandwidth: stream a large buffer in MLC-sized chunks and divide;
+    // each chunk transfer counts as one simulated operation.
     const STREAM_BYTES: u64 = 64 << 20;
-    let span = SimTime::from_ps(STREAM_BYTES * cfg.stream_ps_per_byte(cross_socket));
+    const CHUNK: u64 = 64 << 10;
+    let ps_per_byte = cfg.stream_ps_per_byte(cross_socket);
+    let mut span = SimTime::ZERO;
+    for _ in 0..STREAM_BYTES / CHUNK {
+        span += SimTime::from_ps(CHUNK * ps_per_byte);
+    }
+    simcore::opcount::add(STREAM_BYTES / CHUNK);
     let bandwidth_gbs = STREAM_BYTES as f64 / span.as_ns();
     SocketProbe { latency, bandwidth_gbs }
 }

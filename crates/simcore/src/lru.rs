@@ -2,13 +2,32 @@
 //!
 //! The RNIC's SRAM holds translation-table entries and QP contexts; the
 //! simulator only needs to know *whether* a lookup hits, so this is an LRU
-//! **set** of `u64` keys (page numbers, QP ids) rather than a map. It is
-//! implemented as a slab-backed doubly linked list plus a `HashMap` index,
-//! giving O(1) `access` even with hundreds of thousands of resident keys.
-
-use std::collections::HashMap;
+//! **set** of `u64` keys (page numbers, QP ids) rather than a map.
+//!
+//! # Storage layout
+//!
+//! The set is the simulator's innermost hot structure — every simulated
+//! verb touches it several times (QPC + one entry per translated page) —
+//! so it avoids `HashMap` entirely: a `SipHash` invocation per access
+//! costs more than the rest of the bookkeeping combined. Instead it keeps
+//!
+//! * a slab of nodes forming an intrusive doubly linked recency list
+//!   (`head` = MRU, `tail` = LRU), and
+//! * an open-addressed index: a power-of-two table of node indices probed
+//!   linearly from a multiplicative (Fibonacci) hash of the key, with
+//!   backward-shift deletion so no tombstones accumulate.
+//!
+//! The table is kept at most half full and grows by doubling while the
+//! set fills; once the set reaches its fixed capacity the table size is
+//! stable and `access` performs **no allocation** (the steady-state
+//! zero-alloc property the cluster testbed's hot path relies on).
 
 const NIL: u32 = u32::MAX;
+
+/// Fibonacci hashing multiplier (`2^64 / φ`, odd): a single `wrapping_mul`
+/// mixes low-entropy keys (page numbers, QP ids) well enough for a
+/// half-full linear-probed table.
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
 
 #[derive(Clone, Copy)]
 struct Node {
@@ -21,9 +40,17 @@ struct Node {
 #[derive(Clone)]
 pub struct LruSet {
     capacity: usize,
-    map: HashMap<u64, u32>,
+    /// Open-addressed index: slot → node index, `NIL` when empty. Length
+    /// is a power of two, load factor ≤ 1/2.
+    table: Box<[u32]>,
+    /// `table.len() - 1`, for cheap wraparound.
+    mask: usize,
+    /// Slot of a key's first probe: the top `log2(table.len())` bits of
+    /// the mixed hash, i.e. `mixed >> shift`.
+    shift: u32,
     nodes: Vec<Node>,
     free: Vec<u32>,
+    len: usize,
     head: u32, // most recently used
     tail: u32, // least recently used
     hits: u64,
@@ -34,11 +61,17 @@ impl LruSet {
     /// An empty set that holds at most `capacity ≥ 1` keys.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "LruSet capacity must be at least 1");
+        // Start small and double while filling: huge-capacity sets that
+        // never fill (host-sized tables) should not pre-pay a huge index.
+        let table_len = (2 * capacity).next_power_of_two().clamp(8, 4096);
         LruSet {
             capacity,
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            table: vec![NIL; table_len].into_boxed_slice(),
+            mask: table_len - 1,
+            shift: 64 - table_len.trailing_zeros(),
             nodes: Vec::new(),
             free: Vec::new(),
+            len: 0,
             head: NIL,
             tail: NIL,
             hits: 0,
@@ -50,39 +83,68 @@ impl LruSet {
     /// evicting the least-recently-used key if at capacity. Either way the
     /// key ends up most-recently-used.
     pub fn access(&mut self, key: u64) -> bool {
-        if let Some(&idx) = self.map.get(&key) {
+        // MRU fast path: repeated touches of the hottest key (sequential
+        // page runs, one active QP) skip even the index probe. Semantics
+        // are unchanged — moving the head to the front is a no-op.
+        if self.head != NIL && self.nodes[self.head as usize].key == key {
             self.hits += 1;
-            self.move_to_front(idx);
-            true
-        } else {
-            self.misses += 1;
-            self.insert_front(key);
-            false
+            return true;
+        }
+        match self.find_slot(key) {
+            Some(slot) => {
+                self.hits += 1;
+                let idx = self.table[slot];
+                self.move_to_front(idx);
+                true
+            }
+            None => {
+                self.misses += 1;
+                self.insert_front(key);
+                false
+            }
         }
     }
 
     /// Hit test without updating recency or statistics.
     pub fn contains(&self, key: u64) -> bool {
-        self.map.contains_key(&key)
+        self.find_slot(key).is_some()
     }
 
     /// Insert without counting a miss (e.g. warming the cache).
     pub fn warm(&mut self, key: u64) {
-        if let Some(&idx) = self.map.get(&key) {
-            self.move_to_front(idx);
-        } else {
-            self.insert_front(key);
+        match self.find_slot(key) {
+            Some(slot) => {
+                let idx = self.table[slot];
+                self.move_to_front(idx);
+            }
+            None => self.insert_front(key),
         }
+    }
+
+    /// Whether `key` is the most-recently-used resident key. Fast paths
+    /// (translation memos, same-QP doorbell batches) use this to prove
+    /// that a full `access` would hit *and* leave recency unchanged, then
+    /// account the hit via [`record_hits`](Self::record_hits).
+    pub fn is_mru(&self, key: u64) -> bool {
+        self.head != NIL && self.nodes[self.head as usize].key == key
+    }
+
+    /// Count `n` hits without touching the structure. Only valid when the
+    /// caller has proved the accesses would hit with unchanged recency
+    /// (see [`is_mru`](Self::is_mru)); keeps fast-path statistics
+    /// identical to the slow path.
+    pub fn record_hits(&mut self, n: u64) {
+        self.hits += n;
     }
 
     /// Number of resident keys.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
     }
 
     /// Configured capacity.
@@ -103,18 +165,92 @@ impl LruSet {
 
     /// Drop all resident keys and statistics.
     pub fn clear(&mut self) {
-        self.map.clear();
+        self.table.fill(NIL);
         self.nodes.clear();
         self.free.clear();
+        self.len = 0;
         self.head = NIL;
         self.tail = NIL;
         self.hits = 0;
         self.misses = 0;
     }
 
+    /// First probe slot for `key`.
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        (key.wrapping_mul(HASH_MUL) >> self.shift) as usize
+    }
+
+    /// Slot holding `key`, if resident. Linear probe from the home slot;
+    /// an empty slot terminates the probe (no tombstones exist).
+    #[inline]
+    fn find_slot(&self, key: u64) -> Option<usize> {
+        let mut slot = self.home(key);
+        loop {
+            let idx = self.table[slot];
+            if idx == NIL {
+                return None;
+            }
+            if self.nodes[idx as usize].key == key {
+                return Some(slot);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Index `node` under `key` (which must not be resident).
+    fn index_insert(&mut self, key: u64, node: u32) {
+        let mut slot = self.home(key);
+        while self.table[slot] != NIL {
+            slot = (slot + 1) & self.mask;
+        }
+        self.table[slot] = node;
+    }
+
+    /// Remove `key` from the index by backward-shift deletion: scan the
+    /// probe chain past the hole and slide back every entry whose own
+    /// probe path crosses the hole, so chains never break.
+    fn index_remove(&mut self, key: u64) {
+        let mut hole = self.find_slot(key).expect("removing non-resident key");
+        let mut slot = hole;
+        loop {
+            slot = (slot + 1) & self.mask;
+            let idx = self.table[slot];
+            if idx == NIL {
+                break;
+            }
+            let home = self.home(self.nodes[idx as usize].key);
+            // The entry may fill the hole iff the hole lies on its probe
+            // path, i.e. cyclically within [home, slot].
+            if hole.wrapping_sub(home) & self.mask <= slot.wrapping_sub(home) & self.mask {
+                self.table[hole] = idx;
+                hole = slot;
+            }
+        }
+        self.table[hole] = NIL;
+    }
+
+    /// Double the index and rehash every resident node. Only runs while
+    /// the set is still filling; a set at capacity never grows again.
+    fn grow(&mut self) {
+        let table_len = self.table.len() * 2;
+        self.table = vec![NIL; table_len].into_boxed_slice();
+        self.mask = table_len - 1;
+        self.shift = 64 - table_len.trailing_zeros();
+        let mut idx = self.head;
+        while idx != NIL {
+            let node = self.nodes[idx as usize];
+            self.index_insert(node.key, idx);
+            idx = node.next;
+        }
+    }
+
     fn insert_front(&mut self, key: u64) {
-        if self.map.len() == self.capacity {
+        if self.len == self.capacity {
             self.evict_tail();
+        }
+        if 2 * (self.len + 1) > self.table.len() {
+            self.grow();
         }
         let idx = if let Some(idx) = self.free.pop() {
             self.nodes[idx as usize] = Node { key, prev: NIL, next: self.head };
@@ -131,14 +267,15 @@ impl LruSet {
         if self.tail == NIL {
             self.tail = idx;
         }
-        self.map.insert(key, idx);
+        self.index_insert(key, idx);
+        self.len += 1;
     }
 
     fn evict_tail(&mut self) {
         let idx = self.tail;
         debug_assert!(idx != NIL, "evict from empty LruSet");
         let node = self.nodes[idx as usize];
-        self.map.remove(&node.key);
+        self.index_remove(node.key);
         self.tail = node.prev;
         if self.tail != NIL {
             self.nodes[self.tail as usize].next = NIL;
@@ -146,6 +283,7 @@ impl LruSet {
             self.head = NIL;
         }
         self.free.push(idx);
+        self.len -= 1;
     }
 
     fn move_to_front(&mut self, idx: u32) {
@@ -258,5 +396,67 @@ mod tests {
         }
         // Slab should not have grown past capacity + O(1).
         assert!(c.nodes.len() <= 4, "slab grew to {}", c.nodes.len());
+    }
+
+    #[test]
+    fn steady_state_index_stays_fixed() {
+        let mut c = LruSet::new(64);
+        for k in 0..64u64 {
+            c.access(k);
+        }
+        let table_len = c.table.len();
+        // A long eviction churn (every access misses and evicts) must not
+        // resize the index or grow the slab.
+        for k in 64..100_000u64 {
+            c.access(k);
+        }
+        assert_eq!(c.table.len(), table_len);
+        assert!(c.nodes.len() <= 65);
+        assert_eq!(c.len(), 64);
+    }
+
+    #[test]
+    fn is_mru_tracks_last_touch() {
+        let mut c = LruSet::new(4);
+        c.access(7);
+        c.access(9);
+        assert!(c.is_mru(9));
+        assert!(!c.is_mru(7));
+        assert!(!c.is_mru(42)); // non-resident
+        c.access(7);
+        assert!(c.is_mru(7));
+    }
+
+    #[test]
+    fn record_hits_matches_slow_path_stats() {
+        let mut a = LruSet::new(4);
+        let mut b = LruSet::new(4);
+        for c in [&mut a, &mut b] {
+            c.access(1);
+        }
+        // Fast path: proven-MRU hit accounted without an index probe.
+        assert!(a.is_mru(1));
+        a.record_hits(1);
+        // Slow path: a full access of the same key.
+        b.access(1);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.is_mru(1), b.is_mru(1));
+    }
+
+    /// Colliding probe chains survive eviction: backward-shift deletion
+    /// must keep every still-resident key reachable.
+    #[test]
+    fn eviction_churn_keeps_chains_intact() {
+        let mut c = LruSet::new(8);
+        // Stride chosen so many keys share probe neighbourhoods.
+        let stride = 0x2000_0000_0000_0000u64;
+        for i in 0..64u64 {
+            c.access(i.wrapping_mul(stride).wrapping_add(i));
+        }
+        // The 8 most recent keys must all still hit.
+        for i in (56..64u64).rev() {
+            assert!(c.contains(i.wrapping_mul(stride).wrapping_add(i)), "lost key {i}");
+        }
+        assert_eq!(c.len(), 8);
     }
 }

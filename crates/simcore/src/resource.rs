@@ -39,6 +39,30 @@ impl Timeline {
     /// idle gap that fits. Returns `(start, end)`.
     fn book(&mut self, ready: SimTime, service: SimTime) -> (SimTime, SimTime) {
         let mut start = ready.max(self.floor);
+        // Tail fast path: a request ready at or after the last busy
+        // interval can never fit an earlier gap, so it appends (merging
+        // with a touching tail). Simulation time mostly moves forward, so
+        // this is the overwhelmingly common case — O(1) instead of a scan.
+        match self.busy.last_mut() {
+            None => {
+                self.busy.push((start, start + service));
+                return (start, start + service);
+            }
+            Some(last) if start >= last.1 => {
+                let end = start + service;
+                if start == last.1 {
+                    last.1 = end;
+                } else {
+                    self.busy.push((start, end));
+                    if self.busy.len() > MAX_INTERVALS {
+                        let (_, e0) = self.busy.remove(0);
+                        self.floor = self.floor.max(e0);
+                    }
+                }
+                return (start, end);
+            }
+            _ => {}
+        }
         let mut idx = self.busy.len();
         for (i, &(s, e)) in self.busy.iter().enumerate() {
             if start + service <= s {
@@ -79,6 +103,12 @@ impl Timeline {
     /// When the unit could start a request ready at `ready` (no booking).
     fn probe(&self, ready: SimTime, service: SimTime) -> SimTime {
         let mut start = ready.max(self.floor);
+        // Tail fast path mirroring `book`.
+        match self.busy.last() {
+            None => return start,
+            Some(&(_, e)) if start >= e => return start,
+            _ => {}
+        }
         for &(s, e) in &self.busy {
             if start + service <= s {
                 break;
@@ -117,6 +147,10 @@ impl KServer {
     /// earlier than `ready`. Returns `(start, end)` of the service
     /// interval.
     pub fn acquire(&mut self, ready: SimTime, service: SimTime) -> (SimTime, SimTime) {
+        self.busy += service;
+        if self.units.len() == 1 {
+            return self.units[0].book(ready, service);
+        }
         let idx = self
             .units
             .iter()
@@ -124,7 +158,6 @@ impl KServer {
             .min_by_key(|(_, u)| u.probe(ready, service))
             .map(|(i, _)| i)
             .expect("KServer has at least one unit");
-        self.busy += service;
         self.units[idx].book(ready, service)
     }
 

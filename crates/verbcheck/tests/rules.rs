@@ -403,6 +403,62 @@ fn multiple_rules_fire_together_in_event_order() {
     assert!(diags.windows(2).all(|w| w[0].span.event <= w[1].span.event));
 }
 
+// ------------------------------------------- per-device caps overrides
+
+/// Lint one program against two NIC geometries (the ROADMAP's
+/// per-device `DeviceCaps` override item): a workload that is clean on
+/// the default device trips the capability-sensitive lints — and *only*
+/// those — on an older NIC with a quarter of the translation cache and
+/// 2-SGE work requests. The diagnostic delta is exactly the geometry
+/// difference; the geometry-independent rules stay silent on both.
+#[test]
+fn same_program_linted_against_two_nic_geometries() {
+    let new_nic = DeviceCaps::default();
+    let old_nic =
+        DeviceCaps { mtt_cache_entries: new_nic.mtt_cache_entries / 4, max_sge: 2, ..new_nic };
+    assert!(old_nic.mtt_coverage_bytes() < 2 << 20);
+    assert!(new_nic.mtt_coverage_bytes() >= 2 << 20);
+
+    let mut p = VerbProgram::new();
+    p.mr(0, MrId(0), 1, 4096);
+    p.mr(1, MrId(1), 1, 2 << 20); // fits the new MTT, thrashes the old
+    p.qp(QpNum(0), 0, 1, 1, 1);
+    let pages = (2 << 20) / new_nic.page_bytes;
+    for i in 0..32u64 {
+        let off = scrambled_page(i, pages) * new_nic.page_bytes;
+        p.post(QpNum(0), WorkRequest::read(i, Sge::new(MrId(0), 0, 32), RKey(1), off));
+        p.poll(QpNum(0), 1);
+    }
+    // A 3-SGE gather: fine on the new device, over the old one's limit.
+    let sgl: Vec<Sge> = (0..3).map(|i| Sge::new(MrId(0), i * 64, 64)).collect();
+    p.post(
+        QpNum(0),
+        WorkRequest {
+            wr_id: WrId(100),
+            kind: VerbKind::Write,
+            sgl: sgl.into(),
+            remote: Some((RKey(1), 0)),
+            signaled: true,
+        },
+    );
+    p.poll(QpNum(0), 1);
+
+    let on_new = analyze(&p, &new_nic);
+    let on_old = analyze(&p, &old_nic);
+    assert!(on_new.is_empty(), "clean on the default geometry: {on_new:?}");
+    let old_codes: Vec<Code> = on_old.iter().map(|d| d.code).collect();
+    assert_eq!(old_codes, vec![Code::W201, Code::W202]);
+    // The W202 message names the old device's actual coverage, so a
+    // report over several geometries is self-describing.
+    let w202 = on_old.iter().find(|d| d.code == Code::W202).unwrap();
+    assert!(
+        w202.message.contains(&old_nic.mtt_coverage_bytes().to_string()),
+        "message should cite the overridden coverage: {}",
+        w202.message
+    );
+    assert!(!has_errors(&on_old), "geometry pressure is guidance, not an error");
+}
+
 #[test]
 fn send_posts_are_exempt_from_remote_rules() {
     let mut p = skeleton();

@@ -19,8 +19,13 @@ cargo clippy --all-targets --offline -- -D warnings
 echo "== bench binaries build =="
 cargo build --benches --release --offline
 
-echo "== determinism check (serial vs parallel runner) =="
+echo "== determinism check (serial vs parallel vs unbatched pipeline) =="
 cargo run --release --offline -p bench -- --check-determinism
+
+echo "== bench-compare (sim_ops must match committed BENCH_engine.json) =="
+# --serial: the committed baseline was recorded serially, so wall-time
+# comparisons are apples-to-apples (sim_ops are identical either way).
+cargo run --release --offline -p bench -- --serial --bench-compare BENCH_engine.json
 
 echo "== static verb analysis (verbcheck over every experiment program) =="
 cargo run --release --offline -p bench -- --lint all
