@@ -130,6 +130,7 @@ pub const ALL_IDS: &[&str] = &[
     "extra-recovery",
     "extra-reg-cost",
     "extra-ycsb",
+    "fig6-xl",
     "ablate-occupancy",
     "ablate-mtt",
     "ablate-backoff",
@@ -169,6 +170,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Vec<Experiment> {
         "extra-recovery" => appfigs::extra_recovery(),
         "extra-reg-cost" => micro::extra_reg_cost(),
         "extra-ycsb" => appfigs::extra_ycsb(),
+        "fig6-xl" => micro::fig6_xl(scale),
         "ablate-occupancy" => ablate::ablate_occupancy(),
         "ablate-mtt" => ablate::ablate_mtt_capacity(),
         "ablate-backoff" => ablate::ablate_backoff(),

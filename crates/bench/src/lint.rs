@@ -352,6 +352,9 @@ pub fn programs_for(id: &str) -> Vec<(String, VerbProgram)> {
             strategy_programs(32, 32).into_iter().map(|(l, p)| (format!("{id}/{l}"), p)).collect()
         }
         "fig6" => vec![named("seq", fig6_program(true)), named("rand", fig6_program(false))],
+        // fig6-xl replicates the fig6 posting pattern across many machine
+        // pairs; per-pair verb programs are identical, so lint the pattern.
+        "fig6-xl" => vec![named("seq", fig6_program(true)), named("rand", fig6_program(false))],
         "fig8" => vec![
             named("native", fig8_native_program()),
             named("consolidated-theta16", fig8_consolidated_program()),

@@ -7,8 +7,9 @@
 //! repro all --out results/  # also write .dat + .gp files per experiment
 //! repro all --jobs 4        # cap the worker threads (default: all cores)
 //! repro all --serial        # one worker (same output, more wall-clock)
+//! repro all --shards 4      # in-simulation shards (default: auto; 1 = serial engine)
 //! repro all --bench-json BENCH_engine.json   # machine-readable timings
-//! repro --check-determinism # prove serial/parallel/unbatched runs agree
+//! repro --check-determinism # prove serial/parallel/unbatched/sharded runs agree
 //! repro --bench-compare BENCH_engine.json   # diff a fresh run vs baseline
 //! repro --lint all          # static verb analysis instead of running
 //! ```
@@ -56,19 +57,24 @@ fn render_all(runs: &[GroupRun]) -> String {
 }
 
 /// Hand-rolled JSON (the container is offline; no serde): per-experiment
-/// wall-clock and simulated-operation throughput plus the total.
-fn bench_json(runs: &[GroupRun], total_wall_ms: f64, jobs: usize) -> String {
-    let mut s = String::from("{\n  \"schema\": \"bench-engine-v1\",\n");
+/// wall-clock and simulated-operation throughput plus the total. Schema
+/// v2 records the in-simulation shard count alongside the worker count;
+/// `parse_baseline`'s field scanner ignores unknown keys, so v1 baselines
+/// stay comparable.
+fn bench_json(runs: &[GroupRun], total_wall_ms: f64, jobs: usize, shards: usize) -> String {
+    let mut s = String::from("{\n  \"schema\": \"bench-engine-v2\",\n");
     s.push_str(&format!("  \"jobs\": {jobs},\n"));
+    s.push_str(&format!("  \"shards\": {shards},\n"));
     s.push_str("  \"experiments\": [\n");
     for (i, r) in runs.iter().enumerate() {
         let per_sec = if r.wall_ms > 0.0 { r.sim_ops as f64 / (r.wall_ms / 1e3) } else { 0.0 };
         s.push_str(&format!(
-            "    {{\"id\": \"{}\", \"wall_ms\": {:.3}, \"sim_ops\": {}, \"sim_ops_per_sec\": {:.0}}}{}\n",
+            "    {{\"id\": \"{}\", \"wall_ms\": {:.3}, \"sim_ops\": {}, \"sim_ops_per_sec\": {:.0}, \"shards\": {}}}{}\n",
             r.id,
             r.wall_ms,
             r.sim_ops,
             per_sec,
+            shards,
             if i + 1 < runs.len() { "," } else { "" }
         ));
     }
@@ -95,12 +101,14 @@ fn determinism_failed(kind: &str, a: &str, b: &str) -> ! {
     std::process::exit(1);
 }
 
-/// Run a small experiment set three ways — serially, in parallel, and
-/// with the batched device pipeline disabled — and require byte-identical
-/// rendered output from all three. Exits non-zero on divergence.
+/// Run a small experiment set four ways — serially, in parallel across
+/// experiments, with the batched device pipeline disabled, and with the
+/// in-simulation sharded engine — and require byte-identical rendered
+/// output from all four. Exits non-zero on divergence.
 fn check_determinism(scale: Scale) {
-    let ids = ["table1", "table2"];
+    let ids = ["table1", "table2", "fig8"];
     set_parallelism(Some(1));
+    cluster::set_shards_default(Some(1));
     let serial: Vec<GroupRun> = ids.iter().map(|id| run_group(id.to_string(), scale)).collect();
     set_parallelism(None);
     let parallel =
@@ -117,13 +125,24 @@ fn check_determinism(scale: Scale) {
     set_parallelism(Some(1));
     let unbatched: Vec<GroupRun> = ids.iter().map(|id| run_group(id.to_string(), scale)).collect();
     cluster::set_batched_default(true);
-    set_parallelism(None);
     let c = render_all(&unbatched);
     if a != c {
         determinism_failed("batched vs unbatched pipeline", &a, &c);
     }
+    // Fourth leg: the conservative sharded engine. fig8 runs six machine
+    // pairs concurrently on two shards; the windowed barrier protocol
+    // must reproduce the serial interleaving exactly.
+    cluster::set_shards_default(Some(2));
+    let sharded: Vec<GroupRun> = ids.iter().map(|id| run_group(id.to_string(), scale)).collect();
+    cluster::set_shards_default(Some(1));
+    let d = render_all(&sharded);
+    if a != d {
+        determinism_failed("serial vs sharded (--shards 2)", &a, &d);
+    }
+    set_parallelism(None);
     println!(
-        "determinism check passed: serial, parallel, and unbatched-pipeline output identical ({} bytes)",
+        "determinism check passed: serial, parallel, unbatched-pipeline, and sharded (--shards 2) \
+         output identical ({} bytes)",
         a.len()
     );
 }
@@ -221,11 +240,30 @@ fn main() {
     let mut do_check = false;
     let mut do_lint = false;
     let mut compare_path: Option<PathBuf> = None;
+    // `Some(None)` = explicit auto, `Some(Some(n))` = fixed shard count.
+    let mut shards_req: Option<Option<usize>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--paper-scale" => scale.paper = true,
             "--serial" => set_parallelism(Some(1)),
+            "--shards" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("--shards needs a positive integer or 'auto'");
+                    std::process::exit(2);
+                });
+                shards_req = Some(if v == "auto" {
+                    None
+                } else {
+                    match v.parse::<usize>() {
+                        Ok(n) if n > 0 => Some(n),
+                        _ => {
+                            eprintln!("--shards needs a positive integer or 'auto'");
+                            std::process::exit(2);
+                        }
+                    }
+                });
+            }
             "--jobs" => {
                 let n = args
                     .next()
@@ -262,8 +300,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [all | micro | <id>...] [--paper-scale] [--out DIR] \
-                     [--serial | --jobs N] [--bench-json PATH] [--bench-compare PATH] \
-                     [--check-determinism] [--lint]"
+                     [--serial | --jobs N] [--shards N|auto] [--bench-json PATH] \
+                     [--bench-compare PATH] [--check-determinism] [--lint]"
                 );
                 println!("ids: {ALL_IDS:?}");
                 return;
@@ -271,8 +309,14 @@ fn main() {
             other => ids.push(other.to_string()),
         }
     }
+    if let Some(req) = shards_req {
+        cluster::set_shards_default(req);
+    }
     if do_check {
         check_determinism(scale);
+        // The check pins the process-wide shard default per leg; restore
+        // whatever the command line asked for before running anything else.
+        cluster::set_shards_default(shards_req.flatten());
         if ids.is_empty() && compare_path.is_none() {
             return;
         }
@@ -327,7 +371,8 @@ fn main() {
     }
     eprintln!("[total {:.1}ms over {jobs} worker(s)]", total_wall_ms);
     if let Some(path) = &json_path {
-        std::fs::write(path, bench_json(&runs, total_wall_ms, jobs)).expect("write bench json");
+        std::fs::write(path, bench_json(&runs, total_wall_ms, jobs, cluster::shards_default()))
+            .expect("write bench json");
         eprintln!("[wrote {}]", path.display());
     }
 }

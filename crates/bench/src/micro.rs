@@ -2,11 +2,15 @@
 //! IO consolidation, NUMA placement (Figs 1, 3–6, 8; Tables I–III).
 
 use crate::report::{Experiment, Output};
-use cluster::{run_clients, Client, ClosedLoop, ClusterConfig, ConnId, Endpoint, Testbed};
+use crate::Scale;
+use cluster::{
+    run_clients, run_clients_sharded, shards_default, Client, ClosedLoop, ClusterConfig, ConnId,
+    Endpoint, Pinned, Step, Testbed,
+};
 use memmodel::{vectored_mops, HostMemConfig, MemOp};
 use remem::{batched_write, ConsolidationBuffer, RemoteDst, Strategy};
 use rnicsim::{MrId, RKey, Sge, VerbKind, WorkRequest, WrId};
-use simcore::{Series, SimRng, SimTime};
+use simcore::{Meter, Series, SimRng, SimTime};
 use std::fmt::Write as _;
 
 const PAYLOADS_FIG1: [u64; 13] = [2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192];
@@ -291,42 +295,74 @@ pub fn table1() -> Vec<Experiment> {
     }]
 }
 
-/// Access-pattern combination for Fig 6.
-fn pattern_mops(
-    kind: &VerbKind,
+/// One access-pattern measurement for Fig 6: a closed-loop client on a
+/// private machine pair.
+#[derive(Clone)]
+struct PatternCell {
+    kind: VerbKind,
     local_seq: bool,
     remote_seq: bool,
     payload: u64,
     region: u64,
     ops: u64,
-) -> f64 {
-    let mut tb = Testbed::new(ClusterConfig::two_machines());
-    let src = tb.register_unbacked(0, 1, region);
-    let dst = tb.register_unbacked(1, 1, region);
-    let conn = tb.connect(Endpoint::affine(0, 1), Endpoint::affine(1, 1));
-    let mut rng = SimRng::new(7);
-    let slots = (region / payload.max(1)).max(1);
-    // Template WR mutated in place: id and the two offsets change per op.
-    let mut wr = WorkRequest {
-        wr_id: WrId(0),
-        kind: kind.clone(),
-        sgl: Sge::new(src, 0, payload).into(),
-        remote: Some((RKey(dst.0 as u64), 0)),
-        signaled: true,
-    };
-    let mut cl = ClosedLoop::new(8, ops, move |tb: &mut Testbed, now, i| {
-        let l_off = if local_seq { (i % slots) * payload } else { rng.gen_range(slots) * payload };
-        let r_off = if remote_seq { (i % slots) * payload } else { rng.gen_range(slots) * payload };
-        wr.wr_id = WrId(i);
-        wr.sgl = Sge::new(src, l_off, payload).into();
-        wr.remote = Some((RKey(dst.0 as u64), r_off));
-        tb.post_one_ref(now, conn, &wr).at
-    });
-    {
-        let mut clients: Vec<Box<dyn Client + '_>> = vec![Box::new(&mut cl)];
-        run_clients(&mut tb, &mut clients, SimTime::MAX);
+}
+
+/// Run every cell concurrently: each cell gets its own machine *pair*
+/// inside one merged testbed, so the sharded engine spreads the pairs
+/// across cores. Machines share no state (per-machine NICs, memory
+/// pools, and id counters), so each cell's completion stream is
+/// byte-identical to running it alone on a two-machine testbed — the
+/// parallelism changes wall-clock only.
+fn pattern_cells_run(cells: &[PatternCell]) -> Vec<Vec<SimTime>> {
+    let mut tb = Testbed::new(ClusterConfig { machines: 2 * cells.len(), ..Default::default() });
+    let mut setups = Vec::new();
+    for (ci, cell) in cells.iter().enumerate() {
+        let (a, b) = (2 * ci, 2 * ci + 1);
+        let src = tb.register_unbacked(a, 1, cell.region);
+        let dst = tb.register_unbacked(b, 1, cell.region);
+        let conn = tb.connect(Endpoint::affine(a, 1), Endpoint::affine(b, 1));
+        setups.push((src, dst, conn));
     }
-    let comps = cl.completions();
+    let mut loops: Vec<_> = cells
+        .iter()
+        .zip(&setups)
+        .map(|(cell, &(src, dst, conn))| {
+            let mut rng = SimRng::new(7);
+            let payload = cell.payload;
+            let slots = (cell.region / payload.max(1)).max(1);
+            let (local_seq, remote_seq) = (cell.local_seq, cell.remote_seq);
+            // Template WR mutated in place: id and the two offsets change
+            // per op.
+            let mut wr = WorkRequest {
+                wr_id: WrId(0),
+                kind: cell.kind.clone(),
+                sgl: Sge::new(src, 0, payload).into(),
+                remote: Some((RKey(dst.0 as u64), 0)),
+                signaled: true,
+            };
+            ClosedLoop::new(8, cell.ops, move |tb: &mut Testbed, now, i| {
+                let l_off =
+                    if local_seq { (i % slots) * payload } else { rng.gen_range(slots) * payload };
+                let r_off =
+                    if remote_seq { (i % slots) * payload } else { rng.gen_range(slots) * payload };
+                wr.wr_id = WrId(i);
+                wr.sgl = Sge::new(src, l_off, payload).into();
+                wr.remote = Some((RKey(dst.0 as u64), r_off));
+                tb.post_one_ref(now, conn, &wr).at
+            })
+        })
+        .collect();
+    {
+        let mut pinned: Vec<Pinned<'_>> =
+            loops.iter_mut().enumerate().map(|(ci, cl)| Pinned::new(2 * ci, cl)).collect();
+        run_clients_sharded(&mut tb, &mut pinned, shards_default(), SimTime::MAX);
+    }
+    loops.iter().map(|cl| cl.completions().to_vec()).collect()
+}
+
+/// The Fig 6 throughput figure for one cell's completion stream: skip
+/// the first half as warmup, measure the steady-state tail.
+fn cell_mops(comps: &[SimTime], ops: u64) -> f64 {
     let skip = ops as usize / 2;
     simcore::mops(ops - skip as u64 - 1, *comps.last().expect("ops") - comps[skip])
 }
@@ -346,12 +382,27 @@ pub fn fig6() -> Vec<Experiment> {
     for (id, kind, title) in
         [("fig6a", VerbKind::Read, "RDMA Read"), ("fig6b", VerbKind::Write, "RDMA Write")]
     {
+        // One cell per (combo, payload): all 56 run concurrently, sharded.
+        let mut cells = Vec::new();
+        for &(_, lseq, rseq) in &combos {
+            for &p in &payloads {
+                cells.push(PatternCell {
+                    kind: kind.clone(),
+                    local_seq: lseq,
+                    remote_seq: rseq,
+                    payload: p,
+                    region,
+                    ops: 1200,
+                });
+            }
+        }
+        let comps = pattern_cells_run(&cells);
         let mut series = Vec::new();
-        for (label, lseq, rseq) in combos {
+        for (ci, (label, _, _)) in combos.iter().enumerate() {
             let prefix = if matches!(kind, VerbKind::Read) { "read" } else { "write" };
             let mut s = Series::new(format!("{prefix}-{label}"));
-            for &p in &payloads {
-                s.push(p as f64, pattern_mops(&kind, lseq, rseq, p, region, 1200));
+            for (pi, &p) in payloads.iter().enumerate() {
+                s.push(p as f64, cell_mops(&comps[ci * payloads.len() + pi], 1200));
             }
             series.push(s);
         }
@@ -388,13 +439,27 @@ pub fn fig6() -> Vec<Experiment> {
         ("1G", 1 << 30),
         ("4G", 4 << 30),
     ];
+    // Long runs: the 4 MB point needs a full LRU warmup before the
+    // steady state (random coverage of 1024 pages takes ~7k draws).
+    let cells: Vec<PatternCell> = combos
+        .iter()
+        .flat_map(|&(_, lseq, rseq)| {
+            sizes.iter().map(move |&(_, bytes)| PatternCell {
+                kind: VerbKind::Write,
+                local_seq: lseq,
+                remote_seq: rseq,
+                payload: 32,
+                region: bytes,
+                ops: 12_000,
+            })
+        })
+        .collect();
+    let comps = pattern_cells_run(&cells);
     let mut series = Vec::new();
-    for (label, lseq, rseq) in combos {
-        let mut s = Series::new(label);
-        for (i, &(_, bytes)) in sizes.iter().enumerate() {
-            // Long runs: the 4 MB point needs a full LRU warmup before the
-            // steady state (random coverage of 1024 pages takes ~7k draws).
-            s.push(i as f64, pattern_mops(&VerbKind::Write, lseq, rseq, 32, bytes, 12_000));
+    for (ci, (label, _, _)) in combos.iter().enumerate() {
+        let mut s = Series::new(*label);
+        for (i, _) in sizes.iter().enumerate() {
+            s.push(i as f64, cell_mops(&comps[ci * sizes.len() + i], 12_000));
         }
         series.push(s);
     }
@@ -413,6 +478,59 @@ pub fn fig6() -> Vec<Experiment> {
     out
 }
 
+/// One consolidation cell of Fig 8 as a [`Client`]: each step performs
+/// one 32 B absorbed write (possibly triggering a block flush), polls
+/// leases every 64 ops, and yields at its own advancing clock — exactly
+/// the manual loop the serial version ran, one iteration per step.
+struct ThetaClient {
+    buf: ConsolidationBuffer,
+    zipf: workloads::Zipf,
+    rng: SimRng,
+    /// Outstanding block-flush completions; the send queue tolerates a
+    /// bounded number before the client stalls on the oldest.
+    inflight: std::collections::VecDeque<SimTime>,
+    ops: u64,
+    i: u64,
+    t: SimTime,
+    first: SimTime,
+}
+
+impl ThetaClient {
+    fn absorb_flush(&mut self, done: SimTime) {
+        self.inflight.push_back(done);
+        if self.inflight.len() > 8 {
+            let oldest = self.inflight.pop_front().expect("non-empty");
+            self.t = self.t.max(oldest);
+        }
+    }
+}
+
+impl Client for ThetaClient {
+    fn step(&mut self, _now: SimTime, tb: &mut Testbed) -> Step {
+        if self.i == self.ops {
+            self.buf.flush_all(tb, self.t);
+            return Step::Done;
+        }
+        let block = self.zipf.scrambled_key(&mut self.rng);
+        let off = block * 1024 + self.rng.gen_range(32) * 32;
+        self.t += self.buf.absorb_cost(tb, 32) + SimTime::from_ns(25);
+        if let Some(done) = self.buf.write(tb, self.t, off, &[self.i as u8; 32]) {
+            self.t += SimTime::from_ns(100); // flush WR post (MMIO)
+            self.absorb_flush(done);
+        }
+        if self.i % 64 == 0 {
+            for done in self.buf.poll_leases(tb, self.t) {
+                self.absorb_flush(done);
+            }
+        }
+        if self.i == self.ops / 2 {
+            self.first = self.t;
+        }
+        self.i += 1;
+        Step::Yield(self.t)
+    }
+}
+
 /// Fig 8: IO consolidation of 32 B random writes over 1 KB blocks.
 ///
 /// The workload is the paper's consolidation scenario: a skewed (Zipf
@@ -424,78 +542,67 @@ pub fn fig8() -> Vec<Experiment> {
     let blocks = region / 1024;
     let zipf = workloads::Zipf::paper(blocks);
     let ops = 60_000u64;
-    let native = {
-        let mut tb = Testbed::new(ClusterConfig::two_machines());
-        let src = tb.register(0, 1, 4096);
-        let dst = tb.register_unbacked(1, 1, region);
-        let conn = tb.connect(Endpoint::affine(0, 1), Endpoint::affine(1, 1));
-        let mut rng = SimRng::new(3);
-        let z = zipf.clone();
-        let mut cl = ClosedLoop::new(16, ops, move |tb: &mut Testbed, now, i| {
-            let block = z.scrambled_key(&mut rng);
-            let off = block * 1024 + rng.gen_range(32) * 32;
-            tb.post_one(
-                now,
-                conn,
-                WorkRequest::write(i, Sge::new(src, 0, 32), RKey(dst.0 as u64), off),
-            )
-            .at
-        });
-        {
-            let mut clients: Vec<Box<dyn Client + '_>> = vec![Box::new(&mut cl)];
-            run_clients(&mut tb, &mut clients, SimTime::MAX);
-        }
-        let comps = cl.completions();
-        simcore::mops(ops / 2 - 1, *comps.last().expect("ops") - comps[(ops / 2) as usize])
-    };
+    let thetas = [(1.0, 1usize), (2.0, 2), (3.0, 4), (4.0, 8), (5.0, 16)];
+
+    // One merged testbed: native on machines 0/1, each θ cell on its own
+    // pair — six independent components the sharded engine runs
+    // concurrently, each byte-identical to a standalone run.
+    let mut tb =
+        Testbed::new(ClusterConfig { machines: 2 * (1 + thetas.len()), ..Default::default() });
+    let src = tb.register(0, 1, 4096);
+    let dst = tb.register_unbacked(1, 1, region);
+    let native_conn = tb.connect(Endpoint::affine(0, 1), Endpoint::affine(1, 1));
+    let mut rng = SimRng::new(3);
+    let z = zipf.clone();
+    let mut native_cl = ClosedLoop::new(16, ops, move |tb: &mut Testbed, now, i| {
+        let block = z.scrambled_key(&mut rng);
+        let off = block * 1024 + rng.gen_range(32) * 32;
+        tb.post_one(
+            now,
+            native_conn,
+            WorkRequest::write(i, Sge::new(src, 0, 32), RKey(dst.0 as u64), off),
+        )
+        .at
+    });
+    let mut theta_cls: Vec<ThetaClient> = thetas
+        .iter()
+        .enumerate()
+        .map(|(j, &(_, theta))| {
+            let (a, b) = (2 * (j + 1), 2 * (j + 1) + 1);
+            let shadow = tb.register_unbacked(a, 1, region);
+            let dst = tb.register_unbacked(b, 1, region);
+            let conn = tb.connect(Endpoint::affine(a, 1), Endpoint::affine(b, 1));
+            ThetaClient {
+                buf: ConsolidationBuffer::new(
+                    conn,
+                    shadow,
+                    RKey(dst.0 as u64),
+                    1024,
+                    theta,
+                    SimTime::from_ms(20),
+                ),
+                zipf: zipf.clone(),
+                rng: SimRng::new(4),
+                inflight: std::collections::VecDeque::new(),
+                ops,
+                i: 0,
+                t: SimTime::ZERO,
+                first: SimTime::ZERO,
+            }
+        })
+        .collect();
+    {
+        let mut pinned: Vec<Pinned<'_>> = vec![Pinned::new(0, &mut native_cl)];
+        pinned.extend(theta_cls.iter_mut().enumerate().map(|(j, c)| Pinned::new(2 * (j + 1), c)));
+        run_clients_sharded(&mut tb, &mut pinned, shards_default(), SimTime::MAX);
+    }
+    let comps = native_cl.completions();
+    let native =
+        simcore::mops(ops / 2 - 1, *comps.last().expect("ops") - comps[(ops / 2) as usize]);
     let mut s = Series::new("IO consolidation");
     s.push(0.0, native); // x=0 rendered as "Native"
-    for (xi, theta) in [(1.0, 1usize), (2.0, 2), (3.0, 4), (4.0, 8), (5.0, 16)] {
-        let mut tb = Testbed::new(ClusterConfig::two_machines());
-        let shadow = tb.register_unbacked(0, 1, region);
-        let dst = tb.register_unbacked(1, 1, region);
-        let conn = tb.connect(Endpoint::affine(0, 1), Endpoint::affine(1, 1));
-        let mut buf = ConsolidationBuffer::new(
-            conn,
-            shadow,
-            RKey(dst.0 as u64),
-            1024,
-            theta,
-            SimTime::from_ms(20),
-        );
-        let mut rng = SimRng::new(4);
-        let mut t = SimTime::ZERO;
-        let mut first = SimTime::ZERO;
-        // Flushes are one-sided and asynchronous, but the send queue only
-        // tolerates a bounded number of outstanding block writes.
-        let mut inflight = std::collections::VecDeque::new();
-        for i in 0..ops {
-            let block = zipf.scrambled_key(&mut rng);
-            let off = block * 1024 + rng.gen_range(32) * 32;
-            t += buf.absorb_cost(&tb, 32) + SimTime::from_ns(25);
-            if let Some(done) = buf.write(&mut tb, t, off, &[i as u8; 32]) {
-                t += SimTime::from_ns(100); // flush WR post (MMIO)
-                inflight.push_back(done);
-                if inflight.len() > 8 {
-                    let oldest = inflight.pop_front().expect("non-empty");
-                    t = t.max(oldest);
-                }
-            }
-            if i % 64 == 0 {
-                for done in buf.poll_leases(&mut tb, t) {
-                    inflight.push_back(done);
-                    if inflight.len() > 8 {
-                        let oldest = inflight.pop_front().expect("non-empty");
-                        t = t.max(oldest);
-                    }
-                }
-            }
-            if i == ops / 2 {
-                first = t;
-            }
-        }
-        buf.flush_all(&mut tb, t);
-        s.push(xi, simcore::mops(ops / 2, t - first));
+    for (&(xi, _), c) in thetas.iter().zip(&theta_cls) {
+        s.push(xi, simcore::mops(ops / 2, c.t - c.first));
     }
     let ratio = s.y_at(5.0).expect("theta 16") / native;
     vec![Experiment {
@@ -504,6 +611,66 @@ pub fn fig8() -> Vec<Experiment> {
             .into(),
         output: Output::Series { x: "theta-idx".into(), y: "MOPS".into(), series: vec![s] },
         notes: vec![format!("paper: 7.49x over native at θ=16; measured {ratio:.2}x")],
+    }]
+}
+
+/// fig6-xl: the Fig 6 access-pattern sweep pushed ~4× further out in
+/// machine count — `pairs` identical writer pairs per point, aggregate
+/// MOPS on the y axis. The largest point simulates 96 machines of
+/// traffic in one global queue; each pair is an independent component,
+/// so the sharded engine spreads pairs across cores and the sweep's
+/// wall-clock scales with machines/shards instead of machines.
+pub fn fig6_xl(scale: Scale) -> Vec<Experiment> {
+    let (pair_counts, ops): (&[usize], u64) =
+        if scale.paper { (&[4, 8, 16, 32, 48], 6000) } else { (&[4, 8, 16, 24], 1500) };
+    let region = 64u64 << 20;
+    let mut series = Vec::new();
+    for (label, seq) in [("write-seq-seq", true), ("write-rand-rand", false)] {
+        let mut s = Series::new(label);
+        for &pairs in pair_counts {
+            let cells: Vec<PatternCell> = (0..pairs)
+                .map(|_| PatternCell {
+                    kind: VerbKind::Write,
+                    local_seq: seq,
+                    remote_seq: seq,
+                    payload: 32,
+                    region,
+                    ops,
+                })
+                .collect();
+            let comps = pattern_cells_run(&cells);
+            // Aggregate throughput: fold per-pair meters over the common
+            // steady-state window (second half of each pair's run).
+            let mut merged = Meter::new(SimTime::ZERO);
+            for c in &comps {
+                let mut m = Meter::new(SimTime::ZERO);
+                for &at in &c[(ops / 2) as usize..] {
+                    m.record(at);
+                }
+                merged.merge(&m);
+            }
+            s.push(2.0 * pairs as f64, merged.mops());
+        }
+        series.push(s);
+    }
+    let biggest = *pair_counts.last().expect("non-empty") as f64 * 2.0;
+    let ratio = series[0].y_at(biggest).expect("seq at max")
+        / series[1].y_at(biggest).expect("rand at max");
+    vec![Experiment {
+        id: "fig6-xl",
+        title: format!(
+            "Fig 6 at cluster scale: aggregate 32 B write MOPS vs machine count \
+             (up to {} machines, sharded engine)",
+            biggest as u64
+        ),
+        output: Output::Series { x: "machines".into(), y: "aggregate MOPS".into(), series },
+        notes: vec![
+            format!("seq-seq/rand-rand aggregate at {} machines: {ratio:.2}x", biggest as u64),
+            // No shard count here: printed output must stay
+            // byte-identical across --shards settings.
+            "simulated on the sharded engine (each writer pair is an independent component)"
+                .to_string(),
+        ],
     }]
 }
 

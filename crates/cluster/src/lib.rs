@@ -40,11 +40,16 @@
 pub mod config;
 pub mod engine;
 pub mod memory;
+pub mod shard;
 pub mod testbed;
 
 pub use config::{ClusterConfig, NumaPenalties, RpcConfig};
 pub use engine::{run_clients, BatchLoop, Client, ClosedLoop, Step};
 pub use memory::{MemoryPool, Region};
+pub use shard::{
+    run_clients_sharded, run_clients_windowed, set_shards_default, shard_plan, shards_default,
+    Pinned,
+};
 pub use testbed::{
     batched_default, set_batched_default, ConnId, Endpoint, Machine, Testbed, Transport,
     UD_GRH_BYTES,

@@ -81,6 +81,7 @@ pub enum Transport {
 /// Extra wire bytes of the Global Routing Header on UD packets.
 pub const UD_GRH_BYTES: u64 = 40;
 
+#[derive(Clone)]
 struct Connection {
     client: Endpoint,
     client_qpn: QpNum,
@@ -117,19 +118,18 @@ pub struct Testbed {
     /// Whether posts use the batched device pipeline (see
     /// [`Testbed::set_batched`]).
     batched: bool,
+    /// When this testbed is a shard of a larger cluster
+    /// (`split_shards`), `resident[m]` says whether machine `m`'s real
+    /// state lives here. Verbs touching a non-resident machine panic:
+    /// the shard partition closed over every connection, so such a post
+    /// is a partitioning bug, not a simulation event.
+    resident: Option<Vec<bool>>,
 }
 
 impl Testbed {
     /// Build a cluster of `cfg.machines` identical machines.
     pub fn new(cfg: ClusterConfig) -> Self {
-        let machines = (0..cfg.machines)
-            .map(|_| Machine {
-                rnic: Rnic::new(cfg.rnic.clone()),
-                mem: MemoryPool::new(),
-                rpc_cpu: KServer::new(cfg.rpc.server_threads),
-                ud_qp: vec![None; cfg.rnic.ports],
-            })
-            .collect();
+        let machines = (0..cfg.machines).map(|_| blank_machine(&cfg)).collect();
         Testbed {
             cfg,
             machines,
@@ -138,6 +138,7 @@ impl Testbed {
             data_scratch: Vec::new(),
             checked: false,
             batched: batched_default(),
+            resident: None,
         }
     }
 
@@ -345,6 +346,13 @@ impl Testbed {
         let batched = self.batched;
         let c = &self.conns[conn.0 as usize];
         let (client, server) = (c.client, c.server);
+        if let Some(res) = &self.resident {
+            assert!(
+                res[client.machine] && res[server.machine],
+                "conn {} touches a machine not resident on this shard (cross-shard verb)",
+                conn.0
+            );
+        }
         let (client_qpn, server_qpn) = (c.client_qpn, c.server_qpn);
         let transport = c.transport;
         for wr in wrs {
@@ -631,6 +639,13 @@ impl Testbed {
         simcore::opcount::add(1);
         let c = &self.conns[conn.0 as usize];
         let (client, server) = (c.client, c.server);
+        if let Some(res) = &self.resident {
+            assert!(
+                res[client.machine] && res[server.machine],
+                "conn {} touches a machine not resident on this shard (cross-shard verb)",
+                conn.0
+            );
+        }
         let grh = match c.transport {
             Transport::Ud => UD_GRH_BYTES,
             _ => 0,
@@ -662,6 +677,86 @@ impl Testbed {
         let (_, r_rx) = cm.rnic.recv_packet(client.port, r_arrive, SimTime::ZERO);
         let r_placed = cm.rnic.dma_write(client.port, r_rx, resp_bytes);
         r_placed + cfg.rnic.cqe_cost
+    }
+
+    /// Number of established connections.
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Carve this testbed into `shards` sub-testbeds for conservative
+    /// parallel simulation: shard `s` takes ownership (by move) of every
+    /// machine with `owner[m] == s` and gets a fresh *husk* machine in
+    /// every other slot, so machine indices — and therefore `ConnId`s
+    /// and `Endpoint`s — keep their global meaning inside each shard.
+    /// The husks are never touched: each shard carries a `resident` map
+    /// and panics on any verb reaching a foreign machine. Pair with
+    /// [`Testbed::absorb_shards`] to move the state back.
+    pub(crate) fn split_shards(&mut self, owner: &[usize], shards: usize) -> Vec<Testbed> {
+        assert_eq!(owner.len(), self.machines.len());
+        (0..shards)
+            .map(|s| Testbed {
+                cfg: self.cfg.clone(),
+                machines: self
+                    .machines
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(m, slot)| {
+                        if owner[m] == s {
+                            std::mem::replace(slot, husk_machine(&self.cfg))
+                        } else {
+                            husk_machine(&self.cfg)
+                        }
+                    })
+                    .collect(),
+                conns: self.conns.clone(),
+                cqe_scratch: Vec::new(),
+                data_scratch: Vec::new(),
+                checked: self.checked,
+                batched: self.batched,
+                resident: Some(owner.iter().map(|&o| o == s).collect()),
+            })
+            .collect()
+    }
+
+    /// Reclaim machine state moved out by [`Testbed::split_shards`]. The
+    /// fold is by owned slot, so the result is independent of the order
+    /// shard workers finished in.
+    pub(crate) fn absorb_shards(&mut self, mut shards: Vec<Testbed>, owner: &[usize]) {
+        for (m, &s) in owner.iter().enumerate() {
+            std::mem::swap(&mut self.machines[m], &mut shards[s].machines[m]);
+        }
+    }
+}
+
+/// A freshly initialized machine.
+fn blank_machine(cfg: &ClusterConfig) -> Machine {
+    Machine {
+        rnic: Rnic::new(cfg.rnic.clone()),
+        mem: MemoryPool::new(),
+        rpc_cpu: KServer::new(cfg.rpc.server_threads),
+        ud_qp: vec![None; cfg.rnic.ports],
+    }
+}
+
+/// A placeholder machine filling non-resident (and vacated) slots around
+/// a shard split. Husks only exist to keep machine indices global; the
+/// `resident` guard panics before any verb can reach one, so they carry
+/// no ports and capacity-1 caches — `split_shards` builds
+/// `shards × machines` of them, and full-size husks would dominate the
+/// split cost for wide clusters.
+fn husk_machine(cfg: &ClusterConfig) -> Machine {
+    let rnic = rnicsim::RnicConfig {
+        ports: 0,
+        mtt_cache_entries: 1,
+        qpc_cache_entries: 1,
+        ..cfg.rnic.clone()
+    };
+    Machine {
+        rnic: Rnic::new(rnic),
+        mem: MemoryPool::new(),
+        rpc_cpu: KServer::new(1),
+        ud_qp: Vec::new(),
     }
 }
 

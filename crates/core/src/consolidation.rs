@@ -136,12 +136,16 @@ impl ConsolidationBuffer {
     /// completion times.
     pub fn poll_leases(&mut self, tb: &mut Testbed, now: SimTime) -> Vec<SimTime> {
         let lease = self.lease;
-        let expired: Vec<u64> = self
+        let mut expired: Vec<u64> = self
             .pending
             .iter()
             .filter(|(_, p)| now.saturating_sub(p.oldest) >= lease)
             .map(|(&b, _)| b)
             .collect();
+        // HashMap iteration order is hasher-seeded; flushes post verbs
+        // that advance NIC state, so flush in sorted block order to keep
+        // the simulation deterministic run to run.
+        expired.sort_unstable();
         let mut done = Vec::with_capacity(expired.len());
         for block in expired {
             self.pending.remove(&block);
@@ -153,7 +157,9 @@ impl ConsolidationBuffer {
 
     /// Force every dirty block out (shutdown / barrier).
     pub fn flush_all(&mut self, tb: &mut Testbed, now: SimTime) -> SimTime {
-        let blocks: Vec<u64> = self.pending.keys().copied().collect();
+        let mut blocks: Vec<u64> = self.pending.keys().copied().collect();
+        // Sorted for determinism — see poll_leases.
+        blocks.sort_unstable();
         self.pending.clear();
         let mut last = now;
         for block in blocks {

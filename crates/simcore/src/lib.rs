@@ -34,6 +34,7 @@ pub mod lru;
 pub mod opcount;
 pub mod resource;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 
@@ -41,5 +42,6 @@ pub use events::EventQueue;
 pub use lru::LruSet;
 pub use resource::{BandwidthLink, KServer};
 pub use rng::SimRng;
+pub use shard::{run_sharded, CrossMsg, Lookahead, ShardRun, ShardWorker};
 pub use stats::{Meter, Series, Summary};
 pub use time::{mops, ps_per_byte_gbps, ps_per_byte_gbs, service_time_for_mops, SimTime};

@@ -27,6 +27,15 @@ pub fn current() -> u64 {
     OPS.with(|c| c.get())
 }
 
+/// Fold per-shard operation deltas into this thread's counter in shard
+/// order. The sum is independent of which shard thread finished first,
+/// so totals match a serial run exactly.
+pub fn fold_shards(deltas: &[u64]) {
+    for &d in deltas {
+        add(d);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -46,5 +55,14 @@ mod tests {
         .unwrap();
         assert_eq!(other, 11);
         assert_eq!(current() - before, 7, "other thread's ops don't leak here");
+    }
+
+    #[test]
+    fn fold_shards_sums_deltas_in_order() {
+        let before = current();
+        fold_shards(&[2, 0, 5]);
+        assert_eq!(current() - before, 7);
+        fold_shards(&[]);
+        assert_eq!(current() - before, 7);
     }
 }

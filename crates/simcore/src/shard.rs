@@ -1,0 +1,397 @@
+//! Conservative windowed parallel simulation over sharded event queues.
+//!
+//! A [`ShardWorker`] owns one shard of a simulation — typically one or
+//! more machines plus their private [`EventQueue`](crate::EventQueue) —
+//! and the coordinator ([`run_sharded`]) advances every shard
+//! concurrently under a *conservative time window*: each round it finds
+//! the earliest pending event across all shards, opens a window of one
+//! lookahead from there, and lets every shard process its local events
+//! strictly inside the window on its own thread. Events that target
+//! another shard are not applied directly; the worker emits them as
+//! [`CrossMsg`]s, and the coordinator stages them into the destination
+//! shard's queue at the window barrier.
+//!
+//! # Why the result is byte-identical to a serial run
+//!
+//! The *lookahead* is the minimum latency of any cross-shard channel
+//! (for a cluster fabric: the switch's one-way link latency). A message
+//! sent at time `s` cannot take effect before `s + lookahead`, so no
+//! event inside the window `[start, start + lookahead)` can be affected
+//! by a message generated inside the same window — every shard already
+//! holds *all* events that can fire in the window, and processing shards
+//! in parallel is observationally identical to processing the global
+//! event list in `(time, seq)` order. The coordinator asserts this
+//! contract: a message whose effect time lands inside the sending window
+//! panics instead of silently breaking causality.
+//!
+//! Cross-shard ties are broken deterministically: at each barrier the
+//! staged messages are delivered sorted by `(time, source shard,
+//! per-source emission sequence)`, regardless of which worker thread
+//! finished first. Destination queues break further ties by insertion
+//! order, so two runs — serial, or parallel with any thread schedule —
+//! drain identical event sequences.
+//!
+//! Per-shard operation counts ([`crate::opcount`] is thread-local) are
+//! measured as deltas on each worker thread and folded back into the
+//! coordinator's counter in shard order
+//! ([`crate::opcount::fold_shards`]), so op accounting is exact and
+//! independent of thread scheduling.
+
+use crate::opcount;
+use crate::time::SimTime;
+
+/// How far ahead of the window start a shard may safely simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lookahead {
+    /// Cross-shard effects take at least this long (must be positive):
+    /// windows span one lookahead and messages land at the next barrier.
+    Finite(SimTime),
+    /// The shards provably never exchange messages (e.g. the partition
+    /// closed over every connection): one window runs everything to
+    /// completion, and any emitted message is a bug that panics.
+    Unbounded,
+}
+
+/// An event crossing from one shard to another, staged at the window
+/// barrier and applied to the destination's queue before the next window.
+#[derive(Clone, Debug)]
+pub struct CrossMsg<M> {
+    /// Destination shard index.
+    pub dst: usize,
+    /// Simulated time at which the message takes effect — at least one
+    /// lookahead after the event that emitted it.
+    pub at: SimTime,
+    /// Shard-defined payload.
+    pub payload: M,
+}
+
+/// One shard of a sharded simulation.
+///
+/// `Send` so the coordinator can advance shards on scoped threads; all
+/// simulation state must live inside the worker (shards share nothing).
+pub trait ShardWorker: Send {
+    /// Payload of cross-shard messages this worker exchanges.
+    type Msg: Send;
+
+    /// Timestamp of the shard's earliest pending event, if any.
+    fn next_time(&self) -> Option<SimTime>;
+
+    /// Process every local event with time strictly before `end`
+    /// (`None` = run to completion). Events for other shards must not be
+    /// applied locally; push them onto `outbox` with `at` at least one
+    /// lookahead after the emitting event's time.
+    fn run_window(&mut self, end: Option<SimTime>, outbox: &mut Vec<CrossMsg<Self::Msg>>);
+
+    /// Accept a message from another shard, scheduled at `at`. Called at
+    /// the window barrier in deterministic `(at, src shard, emission
+    /// seq)` order; implementations typically push into their event
+    /// queue, whose insertion-order tie-break preserves that order.
+    fn deliver(&mut self, at: SimTime, payload: Self::Msg);
+}
+
+/// What a sharded run did: window count and exact per-shard op deltas.
+#[derive(Clone, Debug, Default)]
+pub struct ShardRun {
+    /// Number of conservative windows (barriers) executed.
+    pub windows: u64,
+    /// Simulated ops attributed to each shard, in shard order.
+    pub shard_ops: Vec<u64>,
+}
+
+/// Advance `workers` to completion under conservative `lookahead`
+/// windows. With `parallel`, each window runs every shard on its own
+/// scoped thread; otherwise shards run in index order on the calling
+/// thread — both produce byte-identical simulation state.
+pub fn run_sharded<W: ShardWorker>(
+    workers: &mut [W],
+    lookahead: Lookahead,
+    parallel: bool,
+) -> ShardRun {
+    if let Lookahead::Finite(la) = lookahead {
+        assert!(la > SimTime::ZERO, "lookahead must be positive for the windows to make progress");
+    }
+    let n = workers.len();
+    let mut run = ShardRun { windows: 0, shard_ops: vec![0; n] };
+    while let Some(start) = workers.iter().filter_map(ShardWorker::next_time).min() {
+        let end = match lookahead {
+            Lookahead::Finite(la) => Some(start.checked_add(la).unwrap_or(SimTime::MAX)),
+            Lookahead::Unbounded => None,
+        };
+        let mut outboxes: Vec<Vec<CrossMsg<W::Msg>>> = Vec::with_capacity(n);
+        if parallel && n > 1 {
+            let mut deltas = vec![0u64; n];
+            // One OS thread per shard churns the scheduler when shards
+            // outnumber cores; chunk shards across at most the available
+            // cores, each thread advancing its chunk in shard order.
+            let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+            let per = n.div_ceil(cores.min(n));
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = workers
+                    .chunks_mut(per)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk
+                                .iter_mut()
+                                .map(|w| {
+                                    let before = opcount::current();
+                                    let mut out = Vec::new();
+                                    w.run_window(end, &mut out);
+                                    (out, opcount::current() - before)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                let mut i = 0;
+                for h in handles {
+                    match h.join() {
+                        Ok(chunk_results) => {
+                            for (out, ops) in chunk_results {
+                                outboxes.push(out);
+                                deltas[i] = ops;
+                                i += 1;
+                            }
+                        }
+                        // Re-raise the worker's own panic payload so
+                        // callers (and #[should_panic] tests) see the
+                        // original message, not a generic join error.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+            });
+            opcount::fold_shards(&deltas);
+            for (total, d) in run.shard_ops.iter_mut().zip(&deltas) {
+                *total += d;
+            }
+        } else {
+            for (i, w) in workers.iter_mut().enumerate() {
+                let before = opcount::current();
+                let mut out = Vec::new();
+                w.run_window(end, &mut out);
+                run.shard_ops[i] += opcount::current() - before;
+                outboxes.push(out);
+            }
+        }
+        run.windows += 1;
+
+        // Barrier: stage every cross-shard message into its destination
+        // in (time, source shard, per-source emission seq) order. The
+        // sort key is explicit, so delivery order is independent of
+        // which worker thread finished first.
+        let mut staged: Vec<(SimTime, usize, usize, CrossMsg<W::Msg>)> = Vec::new();
+        for (src, out) in outboxes.into_iter().enumerate() {
+            for (seq, msg) in out.into_iter().enumerate() {
+                match end {
+                    Some(e) => assert!(
+                        msg.at >= e,
+                        "conservative lookahead violated: shard {src} emitted a message \
+                         effective at {} inside its own window (end {e})",
+                        msg.at
+                    ),
+                    None => panic!(
+                        "shard {src} emitted a cross-shard message under Lookahead::Unbounded; \
+                         unbounded windows are only sound for fully partitioned shards"
+                    ),
+                }
+                assert!(msg.dst < n, "message to unknown shard {}", msg.dst);
+                staged.push((msg.at, src, seq, msg));
+            }
+        }
+        staged.sort_by_key(|&(at, src, seq, _)| (at, src, seq));
+        for (at, _, _, msg) in staged {
+            workers[msg.dst].deliver(at, msg.payload);
+        }
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventQueue;
+
+    /// A relay shard: scripted sends, plus bounce-back on receipt.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    enum Ev {
+        /// At the event's time, emit `token` toward shard `dst`.
+        Send { dst: usize, token: u64, hops: u32 },
+        /// A delivered token (logged; re-sent to `next` while hops last).
+        Recv { token: u64, hops: u32 },
+    }
+
+    struct Relay {
+        id: usize,
+        next: usize,
+        latency: SimTime,
+        q: EventQueue<Ev>,
+        log: Vec<(SimTime, u64)>,
+    }
+
+    impl Relay {
+        fn new(id: usize, next: usize, latency: SimTime) -> Self {
+            Relay { id, next, latency, q: EventQueue::new(), log: Vec::new() }
+        }
+    }
+
+    impl ShardWorker for Relay {
+        type Msg = (u64, u32);
+
+        fn next_time(&self) -> Option<SimTime> {
+            self.q.peek_time()
+        }
+
+        fn run_window(&mut self, end: Option<SimTime>, outbox: &mut Vec<CrossMsg<(u64, u32)>>) {
+            while let Some(at) = self.q.peek_time() {
+                if end.is_some_and(|e| at >= e) {
+                    break;
+                }
+                let (at, ev) = self.q.pop().expect("peeked");
+                match ev {
+                    // Self-addressed tokens stay local: they never cross
+                    // the fabric, so they don't go through the outbox.
+                    Ev::Send { dst, token, hops } if dst == self.id => {
+                        self.q.push(at + self.latency, Ev::Recv { token, hops })
+                    }
+                    Ev::Send { dst, token, hops } => {
+                        outbox.push(CrossMsg { dst, at: at + self.latency, payload: (token, hops) })
+                    }
+                    Ev::Recv { token, hops } => {
+                        self.log.push((at, token));
+                        opcount::add(1);
+                        if hops > 0 {
+                            self.q.push(at, Ev::Send { dst: self.next, token, hops: hops - 1 });
+                        }
+                    }
+                }
+            }
+        }
+
+        fn deliver(&mut self, at: SimTime, (token, hops): (u64, u32)) {
+            self.q.push(at, Ev::Recv { token, hops });
+        }
+    }
+
+    fn lat() -> SimTime {
+        SimTime::from_ns(10)
+    }
+
+    /// Cross-shard tie-breaking: tokens landing on one destination shard
+    /// at the identical timestamp from different source shards drain in
+    /// `(time, src shard, seq)` order — pinned against the serial
+    /// engine's ordering and against the literal expected sequence,
+    /// under repeated parallel schedules.
+    #[test]
+    fn same_time_arrivals_drain_in_src_shard_then_seq_order() {
+        let build = || {
+            let mut ws =
+                vec![Relay::new(0, 0, lat()), Relay::new(1, 0, lat()), Relay::new(2, 0, lat())];
+            // Shard 2's sends are enqueued before shard 1's exist, and
+            // its worker may finish first — yet src-shard order must win.
+            ws[2].q.push(SimTime::ZERO, Ev::Send { dst: 0, token: 21, hops: 0 });
+            ws[1].q.push(SimTime::ZERO, Ev::Send { dst: 0, token: 11, hops: 0 });
+            ws[1].q.push(SimTime::ZERO, Ev::Send { dst: 0, token: 12, hops: 0 });
+            ws
+        };
+        let mut serial = build();
+        run_sharded(&mut serial, Lookahead::Finite(lat()), false);
+        let expected: Vec<(SimTime, u64)> = vec![(lat(), 11), (lat(), 12), (lat(), 21)];
+        assert_eq!(serial[0].log, expected, "serial engine ordering is the reference");
+        for _ in 0..20 {
+            let mut par = build();
+            run_sharded(&mut par, Lookahead::Finite(lat()), true);
+            assert_eq!(par[0].log, serial[0].log, "parallel drain order diverged");
+        }
+    }
+
+    /// A token bouncing between two shards needs one window per hop;
+    /// parallel and serial schedules agree hop for hop.
+    #[test]
+    fn ping_pong_crosses_many_windows() {
+        let build = || {
+            let mut ws = vec![Relay::new(0, 1, lat()), Relay::new(1, 0, lat())];
+            ws[0].q.push(SimTime::ZERO, Ev::Send { dst: 1, token: 7, hops: 5 });
+            ws
+        };
+        let mut serial = build();
+        let run_s = run_sharded(&mut serial, Lookahead::Finite(lat()), false);
+        let mut par = build();
+        let run_p = run_sharded(&mut par, Lookahead::Finite(lat()), true);
+        assert_eq!(serial[0].log, par[0].log);
+        assert_eq!(serial[1].log, par[1].log);
+        // 6 deliveries alternating shards, 10ns apart.
+        let hops: Vec<(SimTime, u64)> = (1..=6).map(|k| (SimTime::from_ns(10 * k), 7)).collect();
+        let mut seen: Vec<(SimTime, u64)> =
+            serial[1].log.iter().chain(serial[0].log.iter()).copied().collect();
+        seen.sort();
+        assert_eq!(seen, hops);
+        assert!(run_s.windows > 5, "each hop needs its own window");
+        assert_eq!(run_s.windows, run_p.windows);
+    }
+
+    /// Per-shard opcount deltas fold identically under both schedules.
+    #[test]
+    fn op_accounting_is_schedule_independent() {
+        let build = || {
+            let mut ws =
+                vec![Relay::new(0, 1, lat()), Relay::new(1, 0, lat()), Relay::new(2, 0, lat())];
+            for t in 0..10u64 {
+                ws[0].q.push(
+                    SimTime::from_ns(t * 3),
+                    Ev::Send { dst: (t % 2 + 1) as usize, token: t, hops: 2 },
+                );
+            }
+            ws
+        };
+        let before = opcount::current();
+        let run_s = run_sharded(&mut build(), Lookahead::Finite(lat()), false);
+        let serial_ops = opcount::current() - before;
+        let before = opcount::current();
+        let run_p = run_sharded(&mut build(), Lookahead::Finite(lat()), true);
+        let parallel_ops = opcount::current() - before;
+        assert_eq!(serial_ops, parallel_ops, "folded totals must match");
+        assert_eq!(run_s.shard_ops, run_p.shard_ops, "per-shard attribution must match");
+        assert_eq!(run_s.shard_ops.iter().sum::<u64>(), serial_ops);
+    }
+
+    #[test]
+    #[should_panic(expected = "conservative lookahead violated")]
+    fn message_inside_its_own_window_panics() {
+        // Latency 1ns under a 10ns lookahead: the message lands inside
+        // the sending window, which would break causality.
+        let mut ws =
+            vec![Relay::new(0, 1, SimTime::from_ns(1)), Relay::new(1, 0, SimTime::from_ns(1))];
+        ws[0].q.push(SimTime::ZERO, Ev::Send { dst: 1, token: 1, hops: 0 });
+        run_sharded(&mut ws, Lookahead::Finite(lat()), true);
+    }
+
+    #[test]
+    #[should_panic(expected = "Lookahead::Unbounded")]
+    fn cross_shard_message_under_unbounded_panics() {
+        let mut ws = vec![Relay::new(0, 1, lat()), Relay::new(1, 0, lat())];
+        ws[0].q.push(SimTime::ZERO, Ev::Send { dst: 1, token: 1, hops: 0 });
+        run_sharded(&mut ws, Lookahead::Unbounded, false);
+    }
+
+    /// Unbounded lookahead on genuinely partitioned shards is one
+    /// window; finite windows over the same shards agree state for
+    /// state.
+    #[test]
+    fn finite_and_unbounded_agree_when_partitioned() {
+        let build = || {
+            // next = own shard: tokens bounce locally, never crossing.
+            let mut ws = vec![Relay::new(0, 0, lat()), Relay::new(1, 1, lat())];
+            ws[0].q.push(SimTime::ZERO, Ev::Recv { token: 100, hops: 3 });
+            ws[1].q.push(SimTime::from_ns(4), Ev::Recv { token: 200, hops: 2 });
+            ws
+        };
+        let mut unbounded = build();
+        let run_u = run_sharded(&mut unbounded, Lookahead::Unbounded, true);
+        let mut finite = build();
+        let run_f = run_sharded(&mut finite, Lookahead::Finite(lat()), true);
+        assert_eq!(run_u.windows, 1, "partitioned shards finish in one unbounded window");
+        assert!(run_f.windows >= 1);
+        assert_eq!(unbounded[0].log, finite[0].log);
+        assert_eq!(unbounded[1].log, finite[1].log);
+        assert_eq!(run_u.shard_ops, run_f.shard_ops);
+    }
+}

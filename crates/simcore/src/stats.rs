@@ -130,6 +130,18 @@ impl Meter {
             None => SimTime::ZERO,
         }
     }
+
+    /// Absorb another meter's window: op counts add, the observed span
+    /// widens to cover both. Merging is commutative and associative, so
+    /// folding per-shard meters in any order yields the same aggregate.
+    pub fn merge(&mut self, other: &Meter) {
+        self.ops += other.ops;
+        self.first = match (self.first, other.first) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.last = self.last.max(other.last);
+    }
 }
 
 /// One (x, y) series destined for a figure, with a label — mirrors one
@@ -218,6 +230,31 @@ mod tests {
         m.record_n(SimTime::from_us(2), 16);
         assert_eq!(m.ops(), 32);
         assert!((m.mops() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meter_merge_widens_the_window_and_adds_ops() {
+        let mut a = Meter::new(SimTime::ZERO);
+        a.record(SimTime::from_us(5));
+        a.record(SimTime::from_us(9));
+        let mut b = Meter::new(SimTime::ZERO);
+        b.record(SimTime::from_us(2));
+        b.record(SimTime::from_us(7));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.ops(), 4);
+        // Window covers 2us..9us.
+        assert_eq!(ab.span(), SimTime::from_us(7));
+        // Commutative: b.merge(a) gives the same aggregate.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ba.ops(), ab.ops());
+        assert_eq!(ba.span(), ab.span());
+        assert!((ba.mops() - ab.mops()).abs() < 1e-12);
+        // Merging an empty meter is a no-op.
+        ab.merge(&Meter::new(SimTime::ZERO));
+        assert_eq!(ab.ops(), 4);
+        assert_eq!(ab.span(), SimTime::from_us(7));
     }
 
     #[test]

@@ -19,8 +19,11 @@ cargo clippy --all-targets --offline -- -D warnings
 echo "== bench binaries build =="
 cargo build --benches --release --offline
 
-echo "== determinism check (serial vs parallel vs unbatched pipeline) =="
+echo "== determinism check (serial vs parallel vs unbatched vs sharded) =="
 cargo run --release --offline -p bench -- --check-determinism
+
+echo "== micro set, sharded (--shards 2) =="
+cargo run --release --offline -p bench -- micro --shards 2 >/dev/null
 
 echo "== bench-compare (sim_ops must match committed BENCH_engine.json) =="
 # --serial: the committed baseline was recorded serially, so wall-time
