@@ -80,3 +80,61 @@ fn dlog_program_is_clean_at_every_batch_size() {
         assert!(codes(&p).is_empty(), "batch {batch}");
     }
 }
+
+#[test]
+fn fix_engine_consolidates_the_basic_shuffle_to_a_clean_fixpoint() {
+    // The auto-fix for W203 synthesizes the ConsolidationBuffer the
+    // optimized shuffle variants build by hand: the small per-entry
+    // writes collapse into one block flush, and the re-lint is clean.
+    let caps = DeviceCaps::default();
+    let p = shuffle::verb_program(&ShuffleConfig {
+        variant: shuffle::ShuffleVariant::Basic,
+        ..Default::default()
+    });
+    let out = verbcheck::fix_to_fixpoint(&p, &caps, &verbcheck::LintOptions::default());
+    assert!(
+        out.applied.iter().any(|f| matches!(f, verbcheck::Fix::Consolidate { .. })),
+        "expected a consolidation fix, applied: {:?}",
+        out.applied
+    );
+    let after = analyze(&out.program, &caps);
+    assert!(
+        after.is_empty(),
+        "fixpoint must be clean: {}",
+        after.iter().map(|d| d.render()).collect::<String>()
+    );
+    assert!(
+        out.program.post_count() < p.post_count(),
+        "consolidation replaces the small-write group with one block write"
+    );
+}
+
+#[test]
+fn fix_engine_splits_oversized_join_sgls_and_preserves_results() {
+    // W201's fix is pure re-chunking — same bytes, same destination —
+    // so the engine claims result equivalence, and replaying original
+    // and fixed programs through the testbed proves it byte-for-byte.
+    let caps = DeviceCaps::default();
+    let p = join::verb_program(&JoinConfig {
+        strategy: remem::Strategy::Sgl,
+        batch: caps.max_sge + 1,
+        ..Default::default()
+    });
+    let out = verbcheck::fix_to_fixpoint(&p, &caps, &verbcheck::LintOptions::default());
+    assert!(!out.applied.is_empty());
+    assert!(
+        out.applied.iter().all(|f| matches!(f, verbcheck::Fix::SplitSgl { .. })),
+        "only SGL splits expected, applied: {:?}",
+        out.applied
+    );
+    assert!(out.preserves_results, "SGL splitting claims equivalence");
+    assert!(analyze(&out.program, &caps).is_empty(), "fixpoint must be clean");
+    let original = cluster::replay_program(&p);
+    let fixed = cluster::replay_program(&out.program);
+    assert_eq!(original.failures, 0);
+    assert_eq!(fixed.failures, 0);
+    assert_eq!(
+        original.digests, fixed.digests,
+        "split SGLs must land byte-identical remote memory"
+    );
+}

@@ -17,6 +17,44 @@ use remem::Strategy;
 use rnicsim::{DeviceCaps, MrId, QpNum, RKey, Sge, VerbKind, WorkRequest, WrId};
 use verbcheck::VerbProgram;
 
+/// Every experiment id the lint table covers — the mirror of
+/// [`crate::ALL_IDS`], maintained here so a new experiment id cannot be
+/// added without deciding its lint coverage (the drift test below fails
+/// otherwise).
+pub const ALL: &[&str] = &[
+    "fig1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "table1",
+    "fig6",
+    "fig8",
+    "table2",
+    "table3",
+    "fig10",
+    "fig12",
+    "fig13",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "extra-mr-scale",
+    "extra-qp-scale",
+    "extra-recovery",
+    "extra-reg-cost",
+    "extra-ycsb",
+    "fig6-xl",
+    "ablate-occupancy",
+    "ablate-mtt",
+    "ablate-backoff",
+    "ablate-inline",
+];
+
+/// Ids whose experiments post no verbs at all (their lint run is
+/// vacuously clean; everything else must produce at least one program).
+pub const NO_TRAFFIC: &[&str] = &["table2"];
+
 /// The deterministic page scramble the repro harness's random sweeps
 /// stand in for (Weyl-style multiplicative hash; no RNG in static code).
 fn scrambled(i: u64, slots: u64) -> u64 {
@@ -443,8 +481,50 @@ pub struct LintReport {
 /// Analyze every program of every id against the default device
 /// capabilities (the geometry the testbed simulates).
 pub fn lint_ids(ids: &[String]) -> LintReport {
+    lint_ids_with_caps(ids, &DeviceCaps::default())
+}
+
+/// Parse a device-capability file: `key = value` lines, `#` comments.
+/// Unset keys keep the ConnectX-3 defaults; unknown keys are an error
+/// (a typoed capability silently linting against the default geometry
+/// would defeat the point of `--caps`).
+pub fn parse_caps_file(text: &str) -> Result<DeviceCaps, String> {
+    let mut caps = DeviceCaps::default();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected `key = value`, got {:?}", i + 1, line))?;
+        let (key, value) = (key.trim(), value.trim());
+        let num = |v: &str| {
+            v.parse::<u64>().map_err(|_| format!("line {}: {key} needs a positive integer", i + 1))
+        };
+        match key {
+            "max_sge" => caps.max_sge = num(value)? as usize,
+            "sq_depth" => caps.sq_depth = num(value)? as usize,
+            "cq_depth" => caps.cq_depth = num(value)? as usize,
+            "mtt_cache_entries" => caps.mtt_cache_entries = num(value)? as usize,
+            "page_bytes" => caps.page_bytes = num(value)?,
+            other => {
+                return Err(format!(
+                    "line {}: unknown capability key {other:?} (known: max_sge, sq_depth, \
+                     cq_depth, mtt_cache_entries, page_bytes)",
+                    i + 1
+                ))
+            }
+        }
+    }
+    Ok(caps)
+}
+
+/// Analyze every program of every id against an explicit device
+/// geometry — `repro --lint --caps <profile|file>` and the profile
+/// sweep both land here.
+pub fn lint_ids_with_caps(ids: &[String], caps: &DeviceCaps) -> LintReport {
     use std::fmt::Write as _;
-    let caps = DeviceCaps::default();
     let mut report = LintReport { programs: 0, warnings: 0, errors: 0, rendered: String::new() };
     for id in ids {
         let programs = programs_for(id);
@@ -454,7 +534,7 @@ pub fn lint_ids(ids: &[String]) -> LintReport {
         }
         for (label, prog) in programs {
             report.programs += 1;
-            let diags = verbcheck::analyze(&prog, &caps);
+            let diags = verbcheck::analyze(&prog, caps);
             let (e, w): (Vec<_>, Vec<_>) =
                 diags.iter().partition(|d| d.severity() == verbcheck::Severity::Error);
             report.errors += e.len();
@@ -470,6 +550,103 @@ pub fn lint_ids(ids: &[String]) -> LintReport {
             for d in &diags {
                 for line in d.render().lines() {
                     let _ = writeln!(report.rendered, "  {line}");
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Outcome of `repro --lint --fix`.
+pub struct FixReport {
+    /// Programs analyzed.
+    pub programs: usize,
+    /// Programs that received at least one machine-applied fix.
+    pub fixed: usize,
+    /// Total fixes applied across all programs.
+    pub fixes_applied: usize,
+    /// W2xx findings still present after the fixpoint — the CI gate
+    /// requires zero.
+    pub remaining_w2xx: usize,
+    /// Programs whose applied fixes claim result equivalence and whose
+    /// replay digests were verified byte-identical.
+    pub equivalence_checked: usize,
+    /// Error-severity findings after fixing, plus any equivalence
+    /// mismatch (a non-zero count fails the gate).
+    pub errors: usize,
+    /// Human-readable per-program log.
+    pub rendered: String,
+}
+
+/// Run the auto-fix engine over every program of every id: apply each
+/// W2xx diagnostic's machine fix to fixpoint, re-lint, and — where every
+/// applied fix claims result equivalence — replay both the original and
+/// the fixed program through the simulated testbed and compare memory
+/// digests byte for byte.
+pub fn fix_ids(ids: &[String]) -> FixReport {
+    use std::fmt::Write as _;
+    let caps = DeviceCaps::default();
+    let opts = verbcheck::LintOptions::default();
+    let mut report = FixReport {
+        programs: 0,
+        fixed: 0,
+        fixes_applied: 0,
+        remaining_w2xx: 0,
+        equivalence_checked: 0,
+        errors: 0,
+        rendered: String::new(),
+    };
+    for id in ids {
+        let programs = programs_for(id);
+        if programs.is_empty() {
+            let _ = writeln!(report.rendered, "{id}: no verb traffic");
+            continue;
+        }
+        for (label, prog) in programs {
+            report.programs += 1;
+            let before = verbcheck::analyze_with(&prog, &caps, &opts);
+            let out = verbcheck::fix_to_fixpoint(&prog, &caps, &opts);
+            let w2 = out
+                .remaining
+                .iter()
+                .filter(|d| d.severity() == verbcheck::Severity::Warning)
+                .count();
+            let errs = out.remaining.len() - w2;
+            report.remaining_w2xx += w2;
+            report.errors += errs;
+            if out.applied.is_empty() {
+                let _ = writeln!(report.rendered, "{label}: no fixes needed");
+                continue;
+            }
+            report.fixed += 1;
+            report.fixes_applied += out.applied.len();
+            let _ = writeln!(
+                report.rendered,
+                "{label}: {} fix(es) in {} round(s), {w2} W2xx remaining",
+                out.applied.len(),
+                out.rounds
+            );
+            for f in &out.applied {
+                let _ = writeln!(report.rendered, "  = applied: {}", f.describe());
+            }
+            if out.preserves_results && !verbcheck::has_errors(&before) {
+                let a = cluster::replay_program(&prog);
+                let b = cluster::replay_program(&out.program);
+                if a.digests == b.digests && a.failures == 0 && b.failures == 0 {
+                    report.equivalence_checked += 1;
+                    let _ = writeln!(
+                        report.rendered,
+                        "  = equivalence: replay digests identical ({} machine(s))",
+                        a.digests.len()
+                    );
+                } else {
+                    report.errors += 1;
+                    let _ = writeln!(
+                        report.rendered,
+                        "  = equivalence: MISMATCH (original {:x?}/{} failure(s) vs fixed \
+                         {:x?}/{} failure(s))",
+                        a.digests, a.failures, b.digests, b.failures
+                    );
                 }
             }
         }
@@ -536,5 +713,88 @@ mod tests {
         assert_eq!(report.errors, 0, "{}", report.rendered);
         assert!(report.programs > 30, "expected broad coverage, got {}", report.programs);
         assert!(report.warnings > 0, "the anti-pattern demos should warn");
+    }
+
+    #[test]
+    fn lint_table_mirrors_all_ids_exactly() {
+        // ALL is the lint table's self-declared coverage; it must track
+        // crate::ALL_IDS one-for-one so a new experiment id cannot land
+        // without lint coverage (or an explicit NO_TRAFFIC entry).
+        let table: std::collections::BTreeSet<&str> = ALL.iter().copied().collect();
+        let ids: std::collections::BTreeSet<&str> = crate::ALL_IDS.iter().copied().collect();
+        assert_eq!(table, ids, "bench::lint::ALL drifted from crate::ALL_IDS");
+        assert_eq!(ALL.len(), crate::ALL_IDS.len(), "duplicate id in the lint table");
+        for id in NO_TRAFFIC {
+            assert!(table.contains(id), "NO_TRAFFIC id {id:?} missing from ALL");
+            assert!(programs_for(id).is_empty(), "{id} claims no traffic but has programs");
+        }
+        for id in ALL {
+            if !NO_TRAFFIC.contains(id) {
+                assert!(!programs_for(id).is_empty(), "{id} has no lint program");
+            }
+        }
+    }
+
+    #[test]
+    fn caps_files_parse_and_reject_unknown_keys() {
+        let caps = parse_caps_file(
+            "# a ConnectX-3-ish geometry\nmax_sge = 16\nmtt_cache_entries = 512 # half\n\n",
+        )
+        .unwrap();
+        assert_eq!(caps.max_sge, 16);
+        assert_eq!(caps.mtt_cache_entries, 512);
+        assert_eq!(caps.sq_depth, DeviceCaps::default().sq_depth, "unset keys keep defaults");
+        assert!(parse_caps_file("max_sg = 16").unwrap_err().contains("unknown capability key"));
+        assert!(parse_caps_file("max_sge 16").unwrap_err().contains("key = value"));
+        assert!(parse_caps_file("max_sge = lots").unwrap_err().contains("positive integer"));
+    }
+
+    /// 32 MB random-stride writes: between ConnectX-3's 4 MB MTT
+    /// coverage and ConnectX-5's 64 MB.
+    fn mtt_sensitive_program() -> VerbProgram {
+        let region = 32u64 << 20;
+        let mut p = two_machines(4096, region);
+        for i in 0..16u64 {
+            let off = scrambled(i, region / 4096) * 4096;
+            p.post(QpNum(0), write(i, Sge::new(MrId(0), 0, 32), off));
+            p.poll(QpNum(0), 1);
+        }
+        p
+    }
+
+    #[test]
+    fn caps_profiles_change_the_verdict() {
+        // The same program thrashes a ConnectX-3 MTT but fits entirely
+        // inside a ConnectX-5's — the scenario `--lint --caps` exists for.
+        let p = mtt_sensitive_program();
+        let cx3 = analyze(&p, &DeviceCaps::connectx3());
+        assert_eq!(cx3.iter().map(|d| d.code).collect::<Vec<_>>(), vec![Code::W202]);
+        let cx5 = analyze(&p, &DeviceCaps::profile("connectx5").unwrap());
+        assert!(cx5.is_empty(), "{cx5:?}");
+    }
+
+    #[test]
+    fn caps_sweep_never_introduces_errors() {
+        // Profiles dominate the calibrated baseline, so a program that
+        // lints error-free on the default geometry stays error-free on
+        // every profile — the property that makes `--caps sweep` a gate.
+        let ids: Vec<String> = crate::ALL_IDS.iter().map(|s| s.to_string()).collect();
+        for (name, caps) in rnicsim::PROFILES {
+            let report = lint_ids_with_caps(&ids, caps);
+            assert_eq!(report.errors, 0, "profile {name}: {}", report.rendered);
+        }
+    }
+
+    #[test]
+    fn fix_report_reaches_zero_w2xx_over_all_ids() {
+        let ids: Vec<String> = crate::ALL_IDS.iter().map(|s| s.to_string()).collect();
+        let report = fix_ids(&ids);
+        assert_eq!(report.errors, 0, "{}", report.rendered);
+        assert_eq!(report.remaining_w2xx, 0, "{}", report.rendered);
+        assert!(report.fixed > 0, "the anti-pattern demos should receive fixes");
+        assert!(
+            report.equivalence_checked > 0,
+            "at least one program (table3 worst placement) replays for equivalence"
+        );
     }
 }

@@ -232,6 +232,77 @@ fn bench_compare(path: &PathBuf, scale: Scale) {
     );
 }
 
+/// `repro --lint`: static verb analysis of the experiments' posting
+/// patterns. Prints every finding and fails only on error severity (the
+/// W2xx guideline lints are demonstrations, not regressions) — except
+/// under `--fix`, where any W2xx *surviving* the auto-fix engine fails
+/// too (the fixpoint gate). `--caps` switches the device geometry: a
+/// built-in profile name, a `key = value` file, or `sweep` to lint every
+/// profile in turn.
+fn run_lint(ids: &[String], do_fix: bool, caps_spec: Option<&str>) {
+    if do_fix && caps_spec.is_some() {
+        eprintln!("--fix works against the calibrated default geometry; drop --caps");
+        std::process::exit(2);
+    }
+    if do_fix {
+        let report = bench::lint::fix_ids(ids);
+        print!("{}", report.rendered);
+        println!(
+            "fix: {} program(s), {} fixed ({} fix(es) applied), {} equivalence-checked, \
+             {} W2xx remaining, {} error(s)",
+            report.programs,
+            report.fixed,
+            report.fixes_applied,
+            report.equivalence_checked,
+            report.remaining_w2xx,
+            report.errors
+        );
+        if report.errors > 0 || report.remaining_w2xx > 0 {
+            eprintln!("lint --fix FAILED: the fix engine did not reach a clean fixpoint");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let geometries: Vec<(String, rnicsim::DeviceCaps)> = match caps_spec {
+        None => vec![("default".into(), rnicsim::DeviceCaps::default())],
+        Some("sweep") => {
+            rnicsim::PROFILES.iter().map(|(n, c)| (format!("profile {n}"), *c)).collect()
+        }
+        Some(spec) => {
+            let caps = match rnicsim::DeviceCaps::profile(spec) {
+                Some(c) => c,
+                None => {
+                    let text = std::fs::read_to_string(spec).unwrap_or_else(|e| {
+                        eprintln!(
+                            "--caps {spec:?} is neither a profile ({:?}) nor a readable file: {e}",
+                            rnicsim::PROFILES.iter().map(|(n, _)| *n).collect::<Vec<_>>()
+                        );
+                        std::process::exit(2);
+                    });
+                    bench::lint::parse_caps_file(&text).unwrap_or_else(|e| {
+                        eprintln!("--caps {spec}: {e}");
+                        std::process::exit(2);
+                    })
+                }
+            };
+            vec![(spec.to_string(), caps)]
+        }
+    };
+    let mut failed = false;
+    for (label, caps) in &geometries {
+        let report = bench::lint::lint_ids_with_caps(ids, caps);
+        print!("{}", report.rendered);
+        println!(
+            "lint [{label}]: {} program(s), {} warning(s), {} error(s)",
+            report.programs, report.warnings, report.errors
+        );
+        failed |= report.errors > 0;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale { paper: false };
@@ -239,6 +310,8 @@ fn main() {
     let mut json_path: Option<PathBuf> = None;
     let mut do_check = false;
     let mut do_lint = false;
+    let mut do_fix = false;
+    let mut caps_spec: Option<String> = None;
     let mut compare_path: Option<PathBuf> = None;
     // `Some(None)` = explicit auto, `Some(Some(n))` = fixed shard count.
     let mut shards_req: Option<Option<usize>> = None;
@@ -277,6 +350,13 @@ fn main() {
             }
             "--check-determinism" => do_check = true,
             "--lint" => do_lint = true,
+            "--fix" => do_fix = true,
+            "--caps" => {
+                caps_spec = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--caps needs a profile name, a caps file path, or 'sweep'");
+                    std::process::exit(2);
+                }));
+            }
             "--bench-compare" => {
                 compare_path = Some(PathBuf::from(args.next().unwrap_or_else(|| {
                     eprintln!("--bench-compare needs a baseline json path");
@@ -301,9 +381,15 @@ fn main() {
                 println!(
                     "usage: repro [all | micro | <id>...] [--paper-scale] [--out DIR] \
                      [--serial | --jobs N] [--shards N|auto] [--bench-json PATH] \
-                     [--bench-compare PATH] [--check-determinism] [--lint]"
+                     [--bench-compare PATH] [--check-determinism] \
+                     [--lint [--fix] [--caps PROFILE|FILE|sweep]]"
                 );
                 println!("ids: {ALL_IDS:?}");
+                println!(
+                    "caps profiles: {:?} (or a `key = value` file; 'sweep' lints every profile)",
+                    rnicsim::PROFILES.iter().map(|(n, _)| *n).collect::<Vec<_>>()
+                );
+                println!("--fix applies each W2xx finding's machine fix and re-lints to fixpoint");
                 return;
             }
             other => ids.push(other.to_string()),
@@ -332,19 +418,12 @@ fn main() {
         std::process::exit(2);
     }
     if do_lint {
-        // Static verb analysis of the experiments' posting patterns:
-        // print every finding, fail only on error severity (the W2xx
-        // guideline lints are demonstrations, not regressions).
-        let report = bench::lint::lint_ids(&ids);
-        print!("{}", report.rendered);
-        println!(
-            "lint: {} program(s), {} warning(s), {} error(s)",
-            report.programs, report.warnings, report.errors
-        );
-        if report.errors > 0 {
-            std::process::exit(1);
-        }
+        run_lint(&ids, do_fix, caps_spec.as_deref());
         return;
+    }
+    if do_fix || caps_spec.is_some() {
+        eprintln!("--fix and --caps only apply together with --lint");
+        std::process::exit(2);
     }
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");

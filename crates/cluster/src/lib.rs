@@ -40,12 +40,16 @@
 pub mod config;
 pub mod engine;
 pub mod memory;
+pub mod oracle;
+pub mod replay;
 pub mod shard;
 pub mod testbed;
 
 pub use config::{ClusterConfig, NumaPenalties, RpcConfig};
 pub use engine::{run_clients, BatchLoop, Client, ClosedLoop, Step};
 pub use memory::{MemoryPool, Region};
+pub use oracle::{DmaSpan, OracleState, Race};
+pub use replay::{replay_program, ReplayOutcome};
 pub use shard::{
     run_clients_sharded, run_clients_windowed, set_shards_default, shard_plan, shards_default,
     Pinned,

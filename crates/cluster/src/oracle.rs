@@ -1,0 +1,233 @@
+//! Runtime race oracle: the dynamic counterpart of verbcheck's static
+//! byte-range race analysis (W102/W103/E005).
+//!
+//! In checked mode every one-sided verb records the DMA span it lands on
+//! the *target* machine — `(MR, byte-range, completion time)` — before it
+//! is retired by its CQE. A new span that overlaps a still-in-flight span
+//! from a *different* connection, where at least one side writes, is an
+//! actual race the simulation observed: unlike the static layer, which
+//! must assume any unpolled op is still in flight, the oracle knows the
+//! exact completion times and only reports pairs that truly coexist.
+//!
+//! The contract between the layers (enforced by `bench`'s cross-
+//! validation suite): the static analysis is a *sound over-approximation*
+//! — every pair the oracle records is also flagged statically, while
+//! static-only reports are "potential" races that timing happened to
+//! resolve.
+
+use std::collections::BTreeMap;
+
+use rnicsim::{MrId, WrId};
+use simcore::SimTime;
+use verbcheck::IntervalSet;
+
+/// One in-flight DMA span on a target machine: the byte range an
+/// unretired one-sided verb reads or writes.
+#[derive(Clone, Copy, Debug)]
+pub struct DmaSpan {
+    /// Connection the verb was posted on (its ordered channel).
+    pub conn: u32,
+    /// Work-request id of the verb.
+    pub wr_id: WrId,
+    /// First byte touched (inclusive).
+    pub start: u64,
+    /// One past the last byte touched (half-open).
+    pub end: u64,
+    /// Simulated time the op's completion is generated — the span is
+    /// in flight until then.
+    pub t_done: SimTime,
+    /// Whether the span writes the bytes (Write/CAS/FAA) or only reads.
+    pub writes: bool,
+}
+
+/// An actual race the oracle observed: two DMA spans from different
+/// connections overlapping in bytes *and* in simulated time, at least
+/// one of them writing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Race {
+    /// Machine whose memory the spans landed on.
+    pub machine: usize,
+    /// Target memory region.
+    pub mr: MrId,
+    /// Exact overlapping byte range, half-open.
+    pub overlap: (u64, u64),
+    /// The earlier-posted op, as `(conn, wr_id)`.
+    pub first: (u32, WrId),
+    /// The later-posted op, as `(conn, wr_id)`.
+    pub second: (u32, WrId),
+    /// Whether both sides write (write-write) or one side only reads.
+    pub write_write: bool,
+}
+
+impl Race {
+    fn key(&self) -> (usize, u32, u64, u64, u64, u64, u64, u64, bool) {
+        (
+            self.machine,
+            self.mr.0,
+            self.overlap.0,
+            self.overlap.1,
+            u64::from(self.first.0),
+            self.first.1 .0,
+            u64::from(self.second.0),
+            self.second.1 .0,
+            self.write_write,
+        )
+    }
+}
+
+impl Ord for Race {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+impl PartialOrd for Race {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-machine dynamic overlap tracker: in-flight DMA spans keyed by MR,
+/// plus the races observed so far. Lives inside each simulated machine
+/// and migrates with it across shard splits, so sharded runs report the
+/// same races as serial ones.
+#[derive(Default)]
+pub struct OracleState {
+    /// In-flight spans per target MR id.
+    spans: BTreeMap<u32, Vec<DmaSpan>>,
+    races: Vec<Race>,
+}
+
+impl OracleState {
+    /// Record a one-sided DMA span landing on this machine at simulated
+    /// time `now`, completing at `done`. Spans whose completion time has
+    /// already passed are retired first; every surviving span from a
+    /// different connection that overlaps in bytes (with at least one
+    /// side writing) is recorded as a race.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        machine: usize,
+        conn: u32,
+        wr_id: WrId,
+        mr: MrId,
+        start: u64,
+        end: u64,
+        writes: bool,
+        now: SimTime,
+        done: SimTime,
+    ) {
+        let spans = self.spans.entry(mr.0).or_default();
+        // A CQE for an op is visible to the poster no earlier than the
+        // op's completion time, so anything completed by `now` has been
+        // (or could have been) retired by a poll — drop it.
+        spans.retain(|s| s.t_done > now);
+        for s in spans.iter() {
+            // Same connection: the ordered channel serializes the ops.
+            if s.conn == conn || s.start >= end || start >= s.end || !(writes || s.writes) {
+                continue;
+            }
+            self.races.push(Race {
+                machine,
+                mr,
+                overlap: (start.max(s.start), end.min(s.end)),
+                first: (s.conn, s.wr_id),
+                second: (conn, wr_id),
+                write_write: writes && s.writes,
+            });
+        }
+        spans.push(DmaSpan { conn, wr_id, start, end, t_done: done, writes });
+    }
+
+    /// The bytes of `mr` covered by spans still in flight at `now`.
+    pub fn in_flight(&self, mr: MrId, now: SimTime) -> IntervalSet {
+        let mut set = IntervalSet::new();
+        for s in self.spans.get(&mr.0).into_iter().flatten() {
+            if s.t_done > now {
+                set.insert(s.start, s.end);
+            }
+        }
+        set
+    }
+
+    /// Races observed so far.
+    pub fn races(&self) -> &[Race] {
+        &self.races
+    }
+
+    /// Drain the observed races, leaving the tracker running.
+    pub fn take_races(&mut self) -> Vec<Race> {
+        std::mem::take(&mut self.races)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    #[test]
+    fn overlapping_writes_from_different_conns_race() {
+        let mut o = OracleState::default();
+        o.record(1, 0, WrId(1), MrId(0), 0, 64, true, t(0), t(100));
+        o.record(1, 1, WrId(2), MrId(0), 48, 112, true, t(10), t(110));
+        let races = o.take_races();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].overlap, (48, 64));
+        assert_eq!(races[0].first, (0, WrId(1)));
+        assert_eq!(races[0].second, (1, WrId(2)));
+        assert!(races[0].write_write);
+    }
+
+    #[test]
+    fn read_against_in_flight_write_races_but_reads_do_not() {
+        let mut o = OracleState::default();
+        o.record(1, 0, WrId(1), MrId(0), 0, 64, true, t(0), t(100));
+        o.record(1, 1, WrId(2), MrId(0), 32, 96, false, t(10), t(110));
+        // Read-read on a third conn: never a race.
+        o.record(1, 2, WrId(3), MrId(0), 32, 96, false, t(20), t(120));
+        let races = o.take_races();
+        assert_eq!(races.len(), 2, "{races:?}");
+        assert!(!races[0].write_write);
+        assert_eq!(races[0].overlap, (32, 64));
+    }
+
+    #[test]
+    fn completed_spans_are_retired_before_the_overlap_check() {
+        let mut o = OracleState::default();
+        o.record(1, 0, WrId(1), MrId(0), 0, 64, true, t(0), t(100));
+        // Posted after the first op's completion time: no race.
+        o.record(1, 1, WrId(2), MrId(0), 0, 64, true, t(100), t(200));
+        assert!(o.races().is_empty());
+    }
+
+    #[test]
+    fn same_conn_spans_never_race() {
+        let mut o = OracleState::default();
+        o.record(1, 0, WrId(1), MrId(0), 0, 64, true, t(0), t(100));
+        o.record(1, 0, WrId(2), MrId(0), 0, 64, true, t(0), t(100));
+        assert!(o.races().is_empty());
+    }
+
+    #[test]
+    fn disjoint_ranges_and_different_mrs_are_silent() {
+        let mut o = OracleState::default();
+        o.record(1, 0, WrId(1), MrId(0), 0, 64, true, t(0), t(100));
+        o.record(1, 1, WrId(2), MrId(0), 64, 128, true, t(0), t(100));
+        o.record(1, 1, WrId(3), MrId(1), 0, 64, true, t(0), t(100));
+        assert!(o.races().is_empty());
+    }
+
+    #[test]
+    fn in_flight_reports_the_live_byte_coverage() {
+        let mut o = OracleState::default();
+        o.record(1, 0, WrId(1), MrId(0), 0, 64, true, t(0), t(100));
+        o.record(1, 1, WrId(2), MrId(0), 128, 192, true, t(0), t(50));
+        let live = o.in_flight(MrId(0), t(75));
+        assert_eq!(live.spans(), &[(0, 64)]);
+        assert!(o.in_flight(MrId(0), t(100)).is_empty());
+    }
+}

@@ -337,6 +337,52 @@ mod tests {
     }
 
     #[test]
+    fn sharded_oracle_reports_identical_races() {
+        // Two independent machine pairs; each pair runs *two* connections
+        // (one component) whose writes overlap while in flight, so the
+        // dynamic race oracle records real races inside every shard. The
+        // oracle state lives in the machines and migrates across the
+        // split/absorb cycle — a sharded run must report byte-identical
+        // races to a serial one.
+        let run = |shards: usize| -> Vec<crate::oracle::Race> {
+            let mut tb = Testbed::new(ClusterConfig { machines: 4, ..Default::default() });
+            tb.set_checked(true);
+            let mut setups = Vec::new();
+            for p in 0..2usize {
+                let (a, b) = (2 * p, 2 * p + 1);
+                let src = tb.register(a, 1, 1 << 16);
+                let dst = tb.register(b, 1, 1 << 16);
+                let c0 = tb.connect(Endpoint::affine(a, 1), Endpoint::affine(b, 1));
+                let c1 = tb.connect(Endpoint::affine(a, 1), Endpoint::affine(b, 1));
+                setups.push((src, dst, c0, c1));
+            }
+            let mut loops: Vec<_> = setups
+                .iter()
+                .map(|&(src, dst, c0, c1)| {
+                    ClosedLoop::new(4, 16, move |tb: &mut Testbed, now: SimTime, i: u64| {
+                        // Alternate connections; strided 64-byte writes
+                        // overlap their neighbours on the other conn.
+                        let conn = if i % 2 == 0 { c0 } else { c1 };
+                        let off = (i % 8) * 32;
+                        let wr =
+                            WorkRequest::write(i, Sge::new(src, off, 64), RKey(dst.0 as u64), off);
+                        tb.post_one(now, conn, wr).at
+                    })
+                })
+                .collect();
+            {
+                let mut pinned: Vec<Pinned<'_>> =
+                    loops.iter_mut().enumerate().map(|(p, cl)| Pinned::new(2 * p, cl)).collect();
+                run_clients_sharded(&mut tb, &mut pinned, shards, SimTime::MAX);
+            }
+            tb.take_races()
+        };
+        let serial = run(1);
+        assert!(!serial.is_empty(), "fixture must observe real dynamic races");
+        assert_eq!(serial, run(2), "sharded oracle diverged from serial");
+    }
+
+    #[test]
     fn colocated_connections_share_a_shard() {
         let mut tb = Testbed::new(ClusterConfig { machines: 5, ..Default::default() });
         // Chain 0-1-2 is one component; pair 3-4 another.

@@ -10,6 +10,7 @@
 
 use crate::config::ClusterConfig;
 use crate::memory::MemoryPool;
+use crate::oracle::{OracleState, Race};
 use rnicsim::{Completion, CqeStatus, MrId, QpNum, Rnic, VerbKind, WorkRequest};
 use simcore::{KServer, SimTime};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -99,6 +100,16 @@ pub struct Machine {
     rpc_cpu: KServer,
     /// Shared UD service QP per port (created lazily).
     ud_qp: Vec<Option<QpNum>>,
+    /// Dynamic race oracle over this machine's memory (fed in checked
+    /// mode; see [`Testbed::take_races`]).
+    pub(crate) oracle: OracleState,
+}
+
+impl Machine {
+    /// The machine's dynamic race oracle (populated in checked mode).
+    pub fn oracle(&self) -> &OracleState {
+        &self.oracle
+    }
 }
 
 /// The whole simulated cluster.
@@ -343,6 +354,7 @@ impl Testbed {
             }
         }
         simcore::opcount::add(wrs.len() as u64);
+        let checked = self.checked;
         let batched = self.batched;
         let c = &self.conns[conn.0 as usize];
         let (client, server) = (c.client, c.server);
@@ -571,6 +583,26 @@ impl Testbed {
                 }
             };
 
+            // Dynamic race oracle (checked mode): record the one-sided
+            // DMA span on the target machine, in flight until `done` —
+            // Sends land through the channel (a posted Recv), not a
+            // caller-named byte range, so only memory verbs participate.
+            if checked && !matches!(wr.kind, VerbKind::Send) {
+                if let Some((rkey, off)) = wr.remote {
+                    sm.oracle.record(
+                        server.machine,
+                        conn.0,
+                        wr.wr_id,
+                        MrId(rkey.0 as u32),
+                        off,
+                        off + payload.max(1),
+                        !matches!(wr.kind, VerbKind::Read),
+                        now,
+                        done,
+                    );
+                }
+            }
+
             if wr.signaled {
                 let mut cqe_at = done + cfg.rnic.cqe_cost;
                 if client.core_socket != client_port_socket {
@@ -727,6 +759,19 @@ impl Testbed {
             std::mem::swap(&mut self.machines[m], &mut shards[s].machines[m]);
         }
     }
+
+    /// Drain the dynamic race oracle: every pair of one-sided DMA spans
+    /// that actually overlapped — in bytes *and* in simulated time —
+    /// while checked mode was on, canonically sorted and deduplicated.
+    /// Oracle state lives inside each [`Machine`] and migrates with it
+    /// across shard splits, so sharded runs report identical races.
+    pub fn take_races(&mut self) -> Vec<Race> {
+        let mut races: Vec<Race> =
+            self.machines.iter_mut().flat_map(|m| m.oracle.take_races()).collect();
+        races.sort();
+        races.dedup();
+        races
+    }
 }
 
 /// A freshly initialized machine.
@@ -736,6 +781,7 @@ fn blank_machine(cfg: &ClusterConfig) -> Machine {
         mem: MemoryPool::new(),
         rpc_cpu: KServer::new(cfg.rpc.server_threads),
         ud_qp: vec![None; cfg.rnic.ports],
+        oracle: OracleState::default(),
     }
 }
 
@@ -757,6 +803,7 @@ fn husk_machine(cfg: &ClusterConfig) -> Machine {
         mem: MemoryPool::new(),
         rpc_cpu: KServer::new(1),
         ud_qp: Vec::new(),
+        oracle: OracleState::default(),
     }
 }
 

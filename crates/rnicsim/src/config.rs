@@ -176,7 +176,57 @@ impl DeviceCaps {
     pub fn mtt_coverage_bytes(&self) -> u64 {
         self.mtt_cache_entries as u64 * self.page_bytes
     }
+
+    /// The paper's device: ConnectX-3, the geometry every default is
+    /// calibrated against (4 MB MTT coverage, 32-SGE WQEs).
+    pub const fn connectx3() -> Self {
+        DeviceCaps {
+            max_sge: 32,
+            sq_depth: 128,
+            cq_depth: 256,
+            mtt_cache_entries: 1024,
+            page_bytes: 4096,
+        }
+    }
+
+    /// A ConnectX-5/6-like generation: larger on-device SRAM (64 MB MTT
+    /// coverage), deeper queues, 64-SGE WQEs.
+    pub const fn connectx5() -> Self {
+        DeviceCaps {
+            max_sge: 64,
+            sq_depth: 256,
+            cq_depth: 1024,
+            mtt_cache_entries: 16384,
+            page_bytes: 4096,
+        }
+    }
+
+    /// A BlueField-2-like DPU: DPU-class SRAM (256 MB MTT coverage) and
+    /// very deep queues for on-card proxy workloads.
+    pub const fn bluefield2() -> Self {
+        DeviceCaps {
+            max_sge: 64,
+            sq_depth: 512,
+            cq_depth: 4096,
+            mtt_cache_entries: 65536,
+            page_bytes: 4096,
+        }
+    }
+
+    /// Built-in profile by name, for `repro --lint --caps <profile>`.
+    pub fn profile(name: &str) -> Option<Self> {
+        PROFILES.iter().find(|(n, _)| *n == name).map(|(_, c)| *c)
+    }
 }
+
+/// The built-in device zoo, in sweep order (oldest first). Every profile
+/// is at least as capable as the ConnectX-3 baseline, so a program with
+/// no errors on the default geometry has none on any profile.
+pub const PROFILES: &[(&str, DeviceCaps)] = &[
+    ("connectx3", DeviceCaps::connectx3()),
+    ("connectx5", DeviceCaps::connectx5()),
+    ("bluefield2", DeviceCaps::bluefield2()),
+];
 
 impl Default for DeviceCaps {
     fn default() -> Self {
@@ -281,5 +331,27 @@ mod tests {
     #[test]
     fn default_caps_match_default_config() {
         assert_eq!(DeviceCaps::default(), RnicConfig::default().caps());
+    }
+
+    #[test]
+    fn connectx3_profile_is_the_calibrated_default() {
+        // The zoo's baseline *is* the device the simulator models; if a
+        // default drifts, this catches the split-brain.
+        assert_eq!(DeviceCaps::connectx3(), DeviceCaps::default());
+    }
+
+    #[test]
+    fn profiles_are_monotonically_capable() {
+        // Each later generation must dominate the baseline in every
+        // capability, so the `--caps sweep` can never *introduce* errors.
+        let base = DeviceCaps::connectx3();
+        for (name, caps) in PROFILES {
+            assert!(caps.max_sge >= base.max_sge, "{name}");
+            assert!(caps.sq_depth >= base.sq_depth, "{name}");
+            assert!(caps.cq_depth >= base.cq_depth, "{name}");
+            assert!(caps.mtt_coverage_bytes() >= base.mtt_coverage_bytes(), "{name}");
+        }
+        assert_eq!(DeviceCaps::profile("connectx5"), Some(DeviceCaps::connectx5()));
+        assert_eq!(DeviceCaps::profile("nope"), None);
     }
 }

@@ -24,7 +24,7 @@ pub mod device;
 pub mod mtt;
 pub mod types;
 
-pub use config::{DeviceCaps, RnicConfig};
+pub use config::{DeviceCaps, RnicConfig, PROFILES};
 pub use device::{Port, Rnic};
 pub use mtt::{MttCache, TranslationMemo};
 pub use types::{

@@ -2,16 +2,24 @@
 //!
 //! Per-post rules (E001, E002, W201, W204) fire immediately. Queue rules
 //! (E003, E004) track per-QP send-queue and completion-queue pressure
-//! between poll points. The race rule (W101) maintains a per-QP list of
-//! *outstanding* one-sided ops — posted, not yet known-complete — and a
-//! happens-before edge is created only by polling: retiring a signaled
-//! completion retires every WR posted before it on that QP (RC ordering).
-//! Pattern lints (W202, W203) accumulate per-region access footprints and
-//! report at the end of the walk.
+//! between poll points. The race rules (W102/W103/E005) run an
+//! interval-lattice dataflow over `(machine, MR, byte-range)` footprints
+//! ([`crate::footprint::FootprintIndex`]): every one-sided post joins its
+//! remote byte range into the outstanding lattice, happens-before edges
+//! come from poll points (retiring a signaled CQE retires every WR posted
+//! before it on that QP — RC ordering) and from the same-QP ordered
+//! channel (a QP never conflicts with itself). Overlap reports name the
+//! exact conflicting bytes, carry both posting sites, and split by kind:
+//! write-write in the same poll window is *provably* unordered (E005,
+//! error), write-write across windows is potential (W102), and any
+//! read-write overlap is W103. Pattern lints (W202, W203) accumulate
+//! per-region access footprints and report at the end of the walk.
 
 use crate::diag::{Code, Diagnostic, Span};
+use crate::fix::Fix;
+use crate::footprint::{FootprintIndex, OpSpan};
 use crate::program::{Event, VerbProgram};
-use rnicsim::{DeviceCaps, MrId, QpNum, VerbKind, WorkRequest, WrId};
+use rnicsim::{DeviceCaps, MrId, QpNum, VerbKind, WorkRequest};
 use std::collections::BTreeMap;
 
 /// Tunables of the guideline lints (W2xx). Defaults match the paper's
@@ -44,15 +52,12 @@ impl Default for LintOptions {
     }
 }
 
-/// One outstanding (posted, not yet known-complete) work request.
+/// One outstanding (posted, not yet known-complete) work request, for
+/// queue bookkeeping and poll retirement. Byte footprints live in the
+/// [`FootprintIndex`].
 struct OutOp {
     event: usize,
-    wr_id: WrId,
     signaled: bool,
-    /// Remote footprint of a one-sided op: (machine, mr, start, end).
-    range: Option<(usize, MrId, u64, u64)>,
-    writes: bool,
-    kind_name: &'static str,
 }
 
 /// Per-QP analysis state.
@@ -72,6 +77,8 @@ struct MrFootprint {
     accesses: usize,
     jumps: usize,
     last_page: Option<u64>,
+    /// Largest single payload seen — sizes the W202 relayout slot.
+    max_len: u64,
     /// W203 state: block base → (small-write count, reported).
     blocks: BTreeMap<u64, (usize, bool)>,
 }
@@ -107,6 +114,11 @@ pub fn analyze_with(prog: &VerbProgram, caps: &DeviceCaps, opts: &LintOptions) -
     let mut diags = Vec::new();
     let mut qp_states: BTreeMap<u32, QpState> = BTreeMap::new();
     let mut footprints: BTreeMap<(usize, u32), MrFootprint> = BTreeMap::new();
+    let mut index = FootprintIndex::new();
+    // Global poll counter: two posts with equal counter values have
+    // provably no poll — of any QP — between them, so nothing the
+    // program could have observed orders them (the E005 premise).
+    let mut poll_count = 0u64;
 
     for (idx, event) in prog.events().iter().enumerate() {
         match event {
@@ -119,9 +131,12 @@ pub fn analyze_with(prog: &VerbProgram, caps: &DeviceCaps, opts: &LintOptions) -
                 wr,
                 &mut qp_states,
                 &mut footprints,
+                &mut index,
+                poll_count,
                 &mut diags,
             ),
             Event::Poll { qp, count } => {
+                poll_count += 1;
                 let st = qp_states.entry(qp.0).or_default();
                 // Retire the oldest `count` signaled WRs plus, by RC
                 // ordering, every unsignaled WR posted before them.
@@ -135,6 +150,12 @@ pub fn analyze_with(prog: &VerbProgram, caps: &DeviceCaps, opts: &LintOptions) -
                             break;
                         }
                     }
+                }
+                if cut > 0 {
+                    // Mirror the retirement into the race lattice: the
+                    // poll is the happens-before edge that removes these
+                    // footprints from every later conflict check.
+                    index.retire(*qp, st.outstanding[cut - 1].event);
                 }
                 st.outstanding.drain(..cut);
                 st.outstanding_cqes = st.outstanding_cqes.saturating_sub(seen);
@@ -161,6 +182,7 @@ pub fn analyze_with(prog: &VerbProgram, caps: &DeviceCaps, opts: &LintOptions) -
         if steps == 0 || (fp.jumps as f64) / (steps as f64) < opts.random_fraction {
             continue;
         }
+        let slot = fp.max_len.max(1).div_ceil(caps.page_bytes) * caps.page_bytes;
         diags.push(Diagnostic {
             code: Code::W202,
             message: format!(
@@ -175,6 +197,7 @@ pub fn analyze_with(prog: &VerbProgram, caps: &DeviceCaps, opts: &LintOptions) -
             ),
             span: Span::event(fp.first_event),
             related: None,
+            fix: Some(Fix::Relayout { machine: *machine, mr: *mr, slot }),
         });
     }
 
@@ -191,6 +214,8 @@ fn check_post(
     wr: &WorkRequest,
     qp_states: &mut BTreeMap<u32, QpState>,
     footprints: &mut BTreeMap<(usize, u32), MrFootprint>,
+    index: &mut FootprintIndex,
+    poll_count: u64,
     diags: &mut Vec<Diagnostic>,
 ) {
     let span = Span::post(idx, qp, wr.wr_id);
@@ -202,6 +227,7 @@ fn check_post(
                 message: format!("post on undeclared QP {}", qp.0),
                 span,
                 related: None,
+                fix: None,
             });
             return;
         }
@@ -219,6 +245,7 @@ fn check_post(
             ),
             span,
             related: None,
+            fix: Some(Fix::SplitSgl { event: idx, max_sge: caps.max_sge }),
         });
     }
 
@@ -233,6 +260,7 @@ fn check_post(
                 ),
                 span,
                 related: None,
+                fix: None,
             }),
             Some(m) => {
                 if sge.offset.checked_add(sge.len).is_none_or(|end| end > m.len) {
@@ -247,6 +275,7 @@ fn check_post(
                         ),
                         span,
                         related: None,
+                        fix: None,
                     });
                 } else if m.socket != decl.local_port_socket {
                     diags.push(Diagnostic {
@@ -263,6 +292,11 @@ fn check_post(
                         ),
                         span,
                         related: None,
+                        fix: Some(Fix::MoveToSocket {
+                            machine: decl.local_machine,
+                            mr: sge.mr.0,
+                            socket: decl.local_port_socket,
+                        }),
                     });
                 }
             }
@@ -279,6 +313,7 @@ fn check_post(
                 message: format!("one-sided {} has no remote address", kind_name(&wr.kind)),
                 span,
                 related: None,
+                fix: None,
             }),
             Some((rkey, off)) => {
                 let mr = MrId(rkey.0 as u32);
@@ -291,6 +326,7 @@ fn check_post(
                         ),
                         span,
                         related: None,
+                        fix: None,
                     }),
                     Some(m) => {
                         if off.checked_add(payload).is_none_or(|end| end > m.len) {
@@ -306,6 +342,7 @@ fn check_post(
                                 ),
                                 span,
                                 related: None,
+                                fix: None,
                             });
                         } else {
                             if m.socket != decl.remote_port_socket {
@@ -319,6 +356,11 @@ fn check_post(
                                     ),
                                     span,
                                     related: None,
+                                    fix: Some(Fix::MoveToSocket {
+                                        machine: decl.remote_machine,
+                                        mr: mr.0,
+                                        socket: decl.remote_port_socket,
+                                    }),
                                 });
                             }
                             remote_range =
@@ -336,6 +378,7 @@ fn check_post(
                             }
                             fp.last_page = Some(page);
                             fp.accesses += 1;
+                            fp.max_len = fp.max_len.max(payload);
 
                             // W203: small writes that should consolidate.
                             if matches!(wr.kind, VerbKind::Write)
@@ -362,6 +405,13 @@ fn check_post(
                                         ),
                                         span,
                                         related: None,
+                                        fix: Some(Fix::Consolidate {
+                                            machine: decl.remote_machine,
+                                            mr: mr.0,
+                                            block_base: base,
+                                            block_bytes: opts.block_bytes,
+                                            small_write_max: opts.small_write_max,
+                                        }),
                                     });
                                 }
                             }
@@ -381,6 +431,7 @@ fn check_post(
                             ),
                             span,
                             related: None,
+                            fix: None,
                         });
                     }
                     let sgl_bytes: u64 = wr.sgl.iter().map(|s| s.len).sum();
@@ -393,6 +444,7 @@ fn check_post(
                             ),
                             span,
                             related: None,
+                            fix: None,
                         });
                     }
                 }
@@ -400,46 +452,105 @@ fn check_post(
         }
     }
 
-    // --- W101: cross-QP races against every other QP's outstanding ops. ---
+    // --- W102/W103/E005: byte-precise races against every outstanding
+    // footprint on other QPs. Every conflicting pair is reported, at the
+    // later post, naming the exact overlapping bytes. ---
     if let Some((rm, rmr, start, end)) = remote_range {
         let writes = is_remote_write(&wr.kind);
-        let mut conflict: Option<(Span, String)> = None;
-        for (other_qp, st) in qp_states.iter() {
-            if *other_qp == qp.0 {
-                continue; // same-QP ops are ordered by RC
+        let atomic = wr.kind.is_atomic();
+        for op in index.conflicts(rm, rmr, start, end, qp) {
+            if !(writes || op.writes) {
+                continue; // read-read overlap is benign
             }
-            for op in &st.outstanding {
-                let Some((om, omr, os, oe)) = op.range else { continue };
-                if om == rm && omr == rmr && os < end && start < oe && (writes || op.writes) {
-                    conflict = Some((
-                        Span::post(op.event, QpNum(*other_qp), op.wr_id),
-                        format!(
-                            "outstanding {} to [{:#x}, {:#x}) on qp {}",
-                            op.kind_name, os, oe, other_qp
-                        ),
-                    ));
-                    break;
-                }
-            }
-            if conflict.is_some() {
-                break;
-            }
-        }
-        if let Some(related) = conflict {
-            diags.push(Diagnostic {
-                code: Code::W101,
-                message: format!(
-                    "{} to [{:#x}, {:#x}) of MR {} races an unordered op on another QP; \
-                     poll the earlier op's completion before posting this one",
-                    kind_name(&wr.kind),
-                    start,
-                    end,
-                    rmr.0
+            let (cs, ce) = (start.max(op.start), end.min(op.end));
+            let related = Some((
+                Span::post(op.event, op.qp, op.wr_id),
+                format!(
+                    "unretired {} to [{:#x}, {:#x}) on qp {}",
+                    op.kind_name, op.start, op.end, op.qp.0
                 ),
-                span,
-                related: Some(related),
-            });
+            ));
+            let diag = if writes && op.writes {
+                // Same poll window ⇒ nothing the program observed orders
+                // the writes: provably racy, an error — unless both sides
+                // are atomics, which the RNIC serializes (§III-E).
+                if op.polls_at_post == poll_count && !(atomic && op.atomic) {
+                    Diagnostic {
+                        code: Code::E005,
+                        message: format!(
+                            "{} to [{:#x}, {:#x}) of MR {} conflicts with an unordered write \
+                             on qp {} in the same poll window — bytes [{:#x}, {:#x}) are \
+                             undefined; poll between the posts",
+                            kind_name(&wr.kind),
+                            start,
+                            end,
+                            rmr.0,
+                            op.qp.0,
+                            cs,
+                            ce
+                        ),
+                        span,
+                        related,
+                        fix: None,
+                    }
+                } else {
+                    Diagnostic {
+                        code: Code::W102,
+                        message: format!(
+                            "{} to [{:#x}, {:#x}) of MR {} overlaps bytes [{:#x}, {:#x}) with \
+                             a potentially unretired write on qp {}; poll the earlier op's \
+                             completion before posting this one",
+                            kind_name(&wr.kind),
+                            start,
+                            end,
+                            rmr.0,
+                            cs,
+                            ce,
+                            op.qp.0
+                        ),
+                        span,
+                        related,
+                        fix: None,
+                    }
+                }
+            } else {
+                Diagnostic {
+                    code: Code::W103,
+                    message: format!(
+                        "{} to [{:#x}, {:#x}) of MR {} overlaps bytes [{:#x}, {:#x}) with an \
+                         unretired {} on qp {} — the read may observe either version; poll \
+                         the earlier completion first",
+                        kind_name(&wr.kind),
+                        start,
+                        end,
+                        rmr.0,
+                        cs,
+                        ce,
+                        op.kind_name,
+                        op.qp.0
+                    ),
+                    span,
+                    related,
+                    fix: None,
+                }
+            };
+            diags.push(diag);
         }
+        index.insert(
+            rm,
+            rmr,
+            OpSpan {
+                start,
+                end,
+                qp,
+                wr_id: wr.wr_id,
+                event: idx,
+                writes,
+                atomic,
+                kind_name: kind_name(&wr.kind),
+                polls_at_post: poll_count,
+            },
+        );
     }
 
     // --- E003/E004: queue-pressure bookkeeping. ---
@@ -459,6 +570,7 @@ fn check_post(
                 ),
                 span,
                 related: None,
+                fix: None,
             });
         }
     } else {
@@ -478,17 +590,11 @@ fn check_post(
                 ),
                 span,
                 related: None,
+                fix: None,
             });
         }
     }
-    st.outstanding.push(OutOp {
-        event: idx,
-        wr_id: wr.wr_id,
-        signaled: wr.signaled,
-        range: remote_range,
-        writes: is_remote_write(&wr.kind),
-        kind_name: kind_name(&wr.kind),
-    });
+    st.outstanding.push(OutOp { event: idx, signaled: wr.signaled });
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Diagnostics: stable codes, severities, spans, compiler-style rendering.
 
+use crate::fix::Fix;
 use rnicsim::{QpNum, WrId};
 
 /// How bad a finding is.
@@ -25,6 +26,10 @@ impl Severity {
 
 /// Stable diagnostic codes. The number never changes meaning across
 /// versions; tools may match on it.
+///
+/// Retired codes are never reused: **W101** (QP-granular race
+/// advisory) was superseded by the byte-precise W102/W103/E005 family
+/// and its number is permanently reserved.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)] // each variant is documented by `title`
 pub enum Code {
@@ -32,7 +37,9 @@ pub enum Code {
     E002,
     E003,
     E004,
-    W101,
+    E005,
+    W102,
+    W103,
     W201,
     W202,
     W203,
@@ -45,7 +52,9 @@ pub const ALL_CODES: &[Code] = &[
     Code::E002,
     Code::E003,
     Code::E004,
-    Code::W101,
+    Code::E005,
+    Code::W102,
+    Code::W103,
     Code::W201,
     Code::W202,
     Code::W203,
@@ -60,7 +69,9 @@ impl Code {
             Code::E002 => "E002",
             Code::E003 => "E003",
             Code::E004 => "E004",
-            Code::W101 => "W101",
+            Code::E005 => "E005",
+            Code::W102 => "W102",
+            Code::W103 => "W103",
             Code::W201 => "W201",
             Code::W202 => "W202",
             Code::W203 => "W203",
@@ -71,7 +82,7 @@ impl Code {
     /// Severity class of the code.
     pub fn severity(self) -> Severity {
         match self {
-            Code::E001 | Code::E002 | Code::E003 | Code::E004 => Severity::Error,
+            Code::E001 | Code::E002 | Code::E003 | Code::E004 | Code::E005 => Severity::Error,
             _ => Severity::Warning,
         }
     }
@@ -83,7 +94,9 @@ impl Code {
             Code::E002 => "misaligned or mis-sized RDMA atomic",
             Code::E003 => "unsignaled run can wedge the send queue",
             Code::E004 => "signaled completions can overflow the CQ between polls",
-            Code::W101 => "cross-QP remote-memory race with no completion ordering",
+            Code::E005 => "same-poll-window cross-QP writes to overlapping bytes",
+            Code::W102 => "potential cross-QP write-write overlap across poll windows",
+            Code::W103 => "cross-QP read racing an unretired write to the same bytes",
             Code::W201 => "SGL longer than the device's max_sge",
             Code::W202 => "random access pattern thrashes the MTT cache",
             Code::W203 => "small writes to one block should consolidate",
@@ -100,8 +113,14 @@ impl Code {
             Code::E002 => "§III-E: RDMA atomics operate on aligned 8-byte words",
             Code::E003 => "ibverbs: SQ slots are reclaimed only by later signaled completions",
             Code::E004 => "ibverbs: CQ overrun is fatal to the QP",
-            Code::W101 => {
-                "§II-A: one-sided ops on different QPs are unordered until a CQE is polled"
+            Code::E005 => {
+                "§II-A: with no poll between them, nothing orders the writes — the bytes are undefined"
+            }
+            Code::W102 => {
+                "§II-A: one-sided writes on different QPs are unordered until a CQE is polled"
+            }
+            Code::W103 => {
+                "§II-A: a read racing an unpolled write may observe either version of the bytes"
             }
             Code::W201 => {
                 "§III-A: SGL beyond max_sge is rejected; long SGLs serialize on the gather engine"
@@ -161,8 +180,11 @@ pub struct Diagnostic {
     /// Where the finding anchors.
     pub span: Span,
     /// A second program point involved in the finding (e.g. the earlier
-    /// conflicting post of a W101 race).
+    /// conflicting post of a W102/W103/E005 race).
     pub related: Option<(Span, String)>,
+    /// Machine-applicable repair, when the rule knows one (the W2xx
+    /// guideline lints). Applied by [`crate::fix_to_fixpoint`].
+    pub fix: Option<Fix>,
 }
 
 impl Diagnostic {
@@ -177,6 +199,7 @@ impl Diagnostic {
     /// error[E002]: atomic target offset 12 is not 8-byte aligned
     ///   --> program:4 (qp 1, wr 7)
     ///   = note: §III-E: RDMA atomics operate on aligned 8-byte words
+    ///   = fix: ... (only when the rule carries a machine-applicable fix)
     /// ```
     pub fn render(&self) -> String {
         let mut out = format!(
@@ -190,6 +213,9 @@ impl Diagnostic {
             out.push_str(&format!("  = related: {span} — {what}\n"));
         }
         out.push_str(&format!("  = note: {}\n", self.code.grounding()));
+        if let Some(fix) = &self.fix {
+            out.push_str(&format!("  = fix: {}\n", fix.describe()));
+        }
         out
     }
 }
@@ -208,7 +234,7 @@ mod tests {
     fn codes_are_stable_strings() {
         assert_eq!(Code::E001.as_str(), "E001");
         assert_eq!(Code::W204.as_str(), "W204");
-        assert_eq!(ALL_CODES.len(), 9);
+        assert_eq!(ALL_CODES.len(), 11);
         for c in ALL_CODES {
             assert_eq!(c.as_str().len(), 4);
         }
@@ -230,24 +256,43 @@ mod tests {
             message: "atomic target offset 12 is not 8-byte aligned".into(),
             span: Span::post(4, QpNum(1), WrId(7)),
             related: None,
+            fix: None,
         };
         let r = d.render();
         assert!(r.starts_with("error[E002]: atomic target offset 12"));
         assert!(r.contains("--> program:4 (qp 1, wr 7)"));
         assert!(r.contains("note: §III-E"));
+        assert!(!r.contains("= fix:"), "no fix line when the rule has none");
     }
 
     #[test]
     fn render_includes_related_span() {
         let d = Diagnostic {
-            code: Code::W101,
+            code: Code::W103,
             message: "unordered overlap".into(),
             span: Span::post(9, QpNum(2), WrId(1)),
             related: Some((
                 Span::post(3, QpNum(1), WrId(0)),
                 "earlier Write to [0x0, 0x40)".into(),
             )),
+            fix: None,
         };
         assert!(d.render().contains("related: program:3 (qp 1, wr 0) — earlier Write"));
+    }
+
+    #[test]
+    fn render_includes_fix_line_last() {
+        let d = Diagnostic {
+            code: Code::W204,
+            message: "buffer on the wrong socket".into(),
+            span: Span::post(2, QpNum(0), WrId(0)),
+            related: None,
+            fix: Some(Fix::MoveToSocket { machine: 1, mr: 0, socket: 1 }),
+        };
+        let r = d.render();
+        let fix_at = r.find("= fix:").expect("fix line rendered");
+        let note_at = r.find("= note:").expect("note line rendered");
+        assert!(fix_at > note_at, "fix renders after the note");
+        assert!(r.ends_with('\n'));
     }
 }

@@ -1,0 +1,550 @@
+//! Machine-applicable fixes for the W2xx guideline lints.
+//!
+//! Each W2xx diagnostic carries a [`Fix`]: a concrete program rewrite
+//! that removes the violation the way the paper's matching guideline
+//! prescribes (§III-A split the SGL, §III-B compact the footprint,
+//! §III-C consolidate small writes, §III-D move the buffer next to the
+//! port). [`fix_to_fixpoint`] applies fixes and re-lints until no
+//! warning remains, mirroring `repro --lint --fix`.
+//!
+//! Fixes are honest about semantics: [`Fix::preserves_results`] is true
+//! only when the rewritten program provably computes the same remote
+//! bytes (SGL splits and socket moves); layout rewrites and
+//! consolidation change *where* bytes land by design, so the fixpoint
+//! driver only replays-and-compares programs whose applied fixes all
+//! claim equivalence.
+
+use crate::analyze::{analyze_with, LintOptions};
+use crate::diag::Diagnostic;
+use crate::program::{Event, MrDecl, VerbProgram};
+use rnicsim::{DeviceCaps, MrId, RKey, Sge, VerbKind, WorkRequest};
+use std::collections::BTreeMap;
+
+/// A concrete, machine-applicable repair attached to a W2xx diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fix {
+    /// W201: split the oversized SGL at `event` into consecutive posts
+    /// of at most `max_sge` entries each, remote offset advancing by
+    /// the bytes of the preceding chunks. Byte-identical: the chunks
+    /// ride the same ordered QP channel.
+    SplitSgl {
+        /// Event index of the oversized post.
+        event: usize,
+        /// Device SGL limit to split down to.
+        max_sge: usize,
+    },
+    /// W202: compact the MR's accessed footprint — remap each distinct
+    /// remote offset to a dense `slot`-byte slot (offset-order
+    /// preserving) and shrink the registration to the touched extent so
+    /// it fits MTT-cache coverage. Changes the remote layout by design.
+    Relayout {
+        /// Machine owning the thrashed MR.
+        machine: usize,
+        /// The MR id.
+        mr: u32,
+        /// Bytes per compacted slot (max payload, page-rounded).
+        slot: u64,
+    },
+    /// W203: absorb the block's small writes into a local
+    /// ConsolidationBuffer (a synthesized shadow MR) flushed by one
+    /// block-sized write. Changes untouched bytes inside the block (the
+    /// flush writes the whole block) by design.
+    Consolidate {
+        /// Remote machine owning the written MR.
+        machine: usize,
+        /// The written MR id.
+        mr: u32,
+        /// First byte of the flagged block.
+        block_base: u64,
+        /// Block (and shadow buffer) size in bytes.
+        block_bytes: u64,
+        /// Upper payload bound defining "small" writes to absorb.
+        small_write_max: u64,
+    },
+    /// W204: re-register the MR on the socket that owns the QP's port,
+    /// eliminating the QPI crossing. Byte-identical: placement only.
+    MoveToSocket {
+        /// Machine owning the misplaced MR.
+        machine: usize,
+        /// The MR id.
+        mr: u32,
+        /// Socket to move it to (the port's socket).
+        socket: usize,
+    },
+}
+
+impl Fix {
+    /// Human-readable rendering used on the diagnostic's `= fix:` line.
+    pub fn describe(&self) -> String {
+        match self {
+            Fix::SplitSgl { event, max_sge } => format!(
+                "split the SGL at program:{event} into chunks of at most {max_sge} SGEs \
+                 (same QP, same bytes)"
+            ),
+            Fix::Relayout { machine, mr, slot } => format!(
+                "compact MR {mr} on machine {machine}: remap each accessed offset to a dense \
+                 {slot}-byte slot and shrink the registration to the touched footprint"
+            ),
+            Fix::Consolidate { machine, mr, block_base, block_bytes, .. } => format!(
+                "absorb the small writes to block {block_base:#x} of MR {mr} on machine \
+                 {machine} into a local {block_bytes}-byte ConsolidationBuffer flushed by one \
+                 block write"
+            ),
+            Fix::MoveToSocket { machine, mr, socket } => format!(
+                "re-register MR {mr} on machine {machine} on socket {socket}, the QP port's \
+                 socket"
+            ),
+        }
+    }
+
+    /// Does the rewritten program compute byte-identical application
+    /// results? True for SGL splits and socket moves; layout rewrites
+    /// and consolidation relocate bytes by design.
+    pub fn preserves_results(&self) -> bool {
+        matches!(self, Fix::SplitSgl { .. } | Fix::MoveToSocket { .. })
+    }
+
+    /// Does applying the fix keep every event index stable? Index-stable
+    /// fixes can be applied together in one round; index-shifting ones
+    /// (splits, consolidations) must go one at a time because later
+    /// fixes' event indices would dangle.
+    fn index_stable(&self) -> bool {
+        matches!(self, Fix::Relayout { .. } | Fix::MoveToSocket { .. })
+    }
+}
+
+/// Apply one fix to `prog` in place. Fixes are defensive: if the
+/// program no longer matches the fix's premise (already fixed, or the
+/// rewrite would go out of bounds), the program is left unchanged.
+pub fn apply_fix(prog: &mut VerbProgram, fix: &Fix) {
+    match fix {
+        Fix::SplitSgl { event, max_sge } => split_sgl(prog, *event, *max_sge),
+        Fix::Relayout { machine, mr, slot } => relayout(prog, *machine, *mr, *slot),
+        Fix::Consolidate { machine, mr, block_base, block_bytes, small_write_max } => {
+            consolidate(prog, *machine, *mr, *block_base, *block_bytes, *small_write_max)
+        }
+        Fix::MoveToSocket { machine, mr, socket } => {
+            for d in prog.mrs.iter_mut() {
+                if d.machine == *machine && d.mr.0 == *mr {
+                    d.socket = *socket;
+                }
+            }
+        }
+    }
+}
+
+fn split_sgl(prog: &mut VerbProgram, event: usize, max_sge: usize) {
+    if max_sge == 0 {
+        return;
+    }
+    let Some(Event::Post { qp, wr }) = prog.events.get(event).cloned() else { return };
+    if wr.sgl.as_slice().len() <= max_sge || wr.kind.is_atomic() {
+        return;
+    }
+    let sges = wr.sgl.as_slice().to_vec();
+    let mut chunks: Vec<Event> = Vec::new();
+    let mut consumed = 0u64;
+    for chunk in sges.chunks(max_sge) {
+        let bytes: u64 = chunk.iter().map(|s| s.len).sum();
+        chunks.push(Event::Post {
+            qp,
+            wr: WorkRequest {
+                wr_id: wr.wr_id,
+                kind: wr.kind.clone(),
+                sgl: chunk.to_vec().into(),
+                remote: wr.remote.map(|(rk, off)| (rk, off + consumed)),
+                signaled: false,
+            },
+        });
+        consumed += bytes;
+    }
+    // Only the final chunk signals, so the CQE count the program polls
+    // for is unchanged.
+    if let Some(Event::Post { wr, .. }) = chunks.last_mut() {
+        wr.signaled = wr.signaled || wr_signaled(&prog.events[event]);
+    }
+    prog.events.splice(event..=event, chunks);
+}
+
+fn wr_signaled(ev: &Event) -> bool {
+    matches!(ev, Event::Post { wr, .. } if wr.signaled)
+}
+
+fn relayout(prog: &mut VerbProgram, machine: usize, mr: u32, slot: u64) {
+    let slot = slot.max(1);
+    // Distinct remote offsets of one-sided ops into (machine, mr),
+    // in offset order.
+    let mut offsets: Vec<u64> = Vec::new();
+    for ev in prog.events.iter() {
+        if let Some((off, _)) = remote_access(prog, ev, machine, mr) {
+            offsets.push(off);
+        }
+    }
+    offsets.sort_unstable();
+    offsets.dedup();
+    if offsets.is_empty() {
+        return;
+    }
+    let rank: BTreeMap<u64, u64> =
+        offsets.iter().enumerate().map(|(i, &o)| (o, i as u64)).collect();
+    // The compacted registration must still cover every remapped access
+    // and every *local* SGE into the same region.
+    let mut required = 0u64;
+    for ev in prog.events.iter() {
+        if let (Event::Post { qp, wr }, Some((off, payload))) =
+            (ev, remote_access(prog, ev, machine, mr))
+        {
+            let _ = qp;
+            let _ = wr;
+            required = required.max(rank[&off] * slot + payload.max(1));
+        }
+        if let Event::Post { qp, wr } = ev {
+            if let Some(decl) = prog.qps.iter().find(|d| d.qp == *qp) {
+                if decl.local_machine == machine {
+                    for sge in wr.sgl.as_slice() {
+                        if sge.mr.0 == mr {
+                            required = required.max(sge.offset + sge.len);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let Some(decl) = prog.mrs.iter_mut().find(|d| d.machine == machine && d.mr.0 == mr) else {
+        return;
+    };
+    if required > decl.len {
+        // Compaction would *grow* the region (slots wider than the
+        // original spacing) — not a valid shrink; leave untouched.
+        return;
+    }
+    decl.len = required;
+    for ev in prog.events.iter_mut() {
+        let remap = match ev {
+            Event::Post { qp, wr } if wr.kind.is_one_sided() => {
+                let remote_ok = prog
+                    .qps
+                    .iter()
+                    .find(|d| d.qp == *qp)
+                    .is_some_and(|d| d.remote_machine == machine);
+                match wr.remote {
+                    Some((rk, off)) if remote_ok && rk.0 as u32 == mr => Some(off),
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        if let (Some(off), Event::Post { wr, .. }) = (remap, ev) {
+            if let Some((rk, _)) = wr.remote {
+                wr.remote = Some((rk, rank[&off] * slot));
+            }
+        }
+    }
+}
+
+/// If `ev` is a one-sided post whose remote side is `(machine, mr)`,
+/// return its remote `(offset, payload)`.
+fn remote_access(prog: &VerbProgram, ev: &Event, machine: usize, mr: u32) -> Option<(u64, u64)> {
+    let Event::Post { qp, wr } = ev else { return None };
+    if !wr.kind.is_one_sided() {
+        return None;
+    }
+    let decl = prog.qps.iter().find(|d| d.qp == *qp)?;
+    match wr.remote {
+        Some((rk, off)) if decl.remote_machine == machine && rk.0 as u32 == mr => {
+            Some((off, wr.payload_bytes()))
+        }
+        _ => None,
+    }
+}
+
+fn consolidate(
+    prog: &mut VerbProgram,
+    machine: usize,
+    mr: u32,
+    block_base: u64,
+    block_bytes: u64,
+    small_write_max: u64,
+) {
+    if block_bytes == 0 {
+        return;
+    }
+    // The group: every small write landing wholly inside the flagged
+    // block — the same predicate the W203 rule clusters by.
+    let mut group: Vec<usize> = Vec::new();
+    for (i, ev) in prog.events.iter().enumerate() {
+        let Event::Post { qp, wr } = ev else { continue };
+        if !matches!(wr.kind, VerbKind::Write) {
+            continue;
+        }
+        let Some(decl) = prog.qps.iter().find(|d| d.qp == *qp) else { continue };
+        let Some((rk, off)) = wr.remote else { continue };
+        if decl.remote_machine != machine || rk.0 as u32 != mr {
+            continue;
+        }
+        let payload = wr.payload_bytes();
+        let last = off + payload.max(1) - 1;
+        if payload <= small_write_max
+            && off / block_bytes == last / block_bytes
+            && off / block_bytes * block_bytes == block_base
+        {
+            group.push(i);
+        }
+    }
+    if group.len() < 2 {
+        return;
+    }
+    let first = group[0];
+    let Event::Post { qp: first_qp, wr: first_wr } = prog.events[first].clone() else { return };
+    let Some(qp_decl) = prog.qps.iter().find(|d| d.qp == first_qp).copied() else { return };
+    let signaled = group.iter().any(|&i| wr_signaled(&prog.events[i]));
+    // Synthesize the ConsolidationBuffer: a fresh shadow MR on the
+    // posting machine, sized to one block, on the port's socket.
+    let shadow = prog
+        .mrs
+        .iter()
+        .filter(|d| d.machine == qp_decl.local_machine)
+        .map(|d| d.mr.0 + 1)
+        .max()
+        .unwrap_or(0);
+    prog.mrs.push(MrDecl {
+        machine: qp_decl.local_machine,
+        mr: MrId(shadow),
+        socket: qp_decl.local_port_socket,
+        len: block_bytes,
+    });
+    let remote_len = prog.mrs.iter().find(|d| d.machine == machine && d.mr.0 == mr).map(|d| d.len);
+    let flush_len = remote_len.map_or(block_bytes, |l| block_bytes.min(l - block_base.min(l)));
+    prog.events[first] = Event::Post {
+        qp: first_qp,
+        wr: WorkRequest {
+            wr_id: first_wr.wr_id,
+            kind: VerbKind::Write,
+            sgl: Sge::new(MrId(shadow), 0, flush_len).into(),
+            remote: Some((RKey(mr as u64), block_base)),
+            signaled,
+        },
+    };
+    for &i in group[1..].iter().rev() {
+        prog.events.remove(i);
+    }
+}
+
+/// Result of driving a program to its lint fixpoint.
+#[derive(Clone, Debug)]
+pub struct FixOutcome {
+    /// The rewritten program at the fixpoint.
+    pub program: VerbProgram,
+    /// Lint/apply rounds taken (0 when already clean).
+    pub rounds: usize,
+    /// Every fix applied, in application order.
+    pub applied: Vec<Fix>,
+    /// Diagnostics remaining at the fixpoint (warnings only if the
+    /// engine converged; pre-existing errors are never auto-fixed).
+    pub remaining: Vec<Diagnostic>,
+    /// True iff every applied fix claims byte-identical results.
+    pub preserves_results: bool,
+}
+
+/// Apply fixes and re-lint until no fixable warning remains (or the
+/// round cap trips). Index-stable fixes are applied together per round;
+/// index-shifting fixes one at a time, so recorded event indices never
+/// dangle.
+pub fn fix_to_fixpoint(prog: &VerbProgram, caps: &DeviceCaps, opts: &LintOptions) -> FixOutcome {
+    let mut program = prog.clone();
+    let mut applied: Vec<Fix> = Vec::new();
+    let mut rounds = 0usize;
+    loop {
+        let diags = analyze_with(&program, caps, opts);
+        let fixes: Vec<Fix> = diags.iter().filter_map(|d| d.fix.clone()).collect();
+        if fixes.is_empty() || rounds >= 32 {
+            let preserves = applied.iter().all(Fix::preserves_results);
+            return FixOutcome {
+                program,
+                rounds,
+                applied,
+                remaining: diags,
+                preserves_results: preserves,
+            };
+        }
+        rounds += 1;
+        let mut stable: Vec<Fix> = fixes.iter().filter(|f| f.index_stable()).cloned().collect();
+        stable.dedup();
+        let round: Vec<Fix> = if stable.is_empty() { vec![fixes[0].clone()] } else { stable };
+        let before = applied.len();
+        for f in round {
+            if !applied.contains(&f) || !f.index_stable() {
+                apply_fix(&mut program, &f);
+                applied.push(f);
+            }
+        }
+        if applied.len() == before {
+            // Every proposed fix was already applied and changed
+            // nothing — the program is as fixed as it gets.
+            let preserves = applied.iter().all(Fix::preserves_results);
+            return FixOutcome {
+                program,
+                rounds,
+                applied,
+                remaining: diags,
+                preserves_results: preserves,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Code;
+    use rnicsim::{QpNum, WorkRequest};
+
+    fn caps() -> DeviceCaps {
+        DeviceCaps::default()
+    }
+
+    /// Two machines, one QP; client MR 0 on machine 0, server MR 0 on
+    /// machine 1, both ports on socket 1.
+    fn skeleton(local_len: u64, remote_len: u64) -> VerbProgram {
+        let mut p = VerbProgram::new();
+        p.mr(0, MrId(0), 1, local_len).mr(1, MrId(0), 1, remote_len);
+        p.qp(QpNum(0), 0, 1, 1, 1);
+        p
+    }
+
+    #[test]
+    fn split_sgl_fix_reaches_clean_fixpoint() {
+        let caps = caps();
+        let mut p = skeleton(1 << 20, 1 << 20);
+        let n = caps.max_sge + 3;
+        let sges: Vec<Sge> = (0..n).map(|i| Sge::new(MrId(0), i as u64 * 64, 64)).collect();
+        p.post(
+            QpNum(0),
+            WorkRequest {
+                wr_id: rnicsim::WrId(0),
+                kind: VerbKind::Write,
+                sgl: sges.into(),
+                remote: Some((RKey(0), 0)),
+                signaled: true,
+            },
+        );
+        p.poll(QpNum(0), 1);
+        let out = fix_to_fixpoint(&p, &caps, &LintOptions::default());
+        assert_eq!(out.applied, vec![Fix::SplitSgl { event: 0, max_sge: caps.max_sge }]);
+        assert!(out.remaining.is_empty(), "fixpoint is clean");
+        assert!(out.preserves_results, "an SGL split is byte-identical");
+        // Two posts now, the second carrying the advanced remote offset
+        // and the original signal.
+        let posts: Vec<_> = out
+            .program
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Post { wr, .. } => Some(wr.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(posts.len(), 2);
+        assert_eq!(posts[0].sgl.as_slice().len(), caps.max_sge);
+        assert_eq!(posts[1].sgl.as_slice().len(), 3);
+        assert!(!posts[0].signaled && posts[1].signaled);
+        assert_eq!(posts[1].remote.unwrap().1, caps.max_sge as u64 * 64);
+    }
+
+    #[test]
+    fn move_to_socket_fix_is_idempotent_and_clean() {
+        let caps = caps();
+        let mut p = skeleton(4096, 4096);
+        // Local MR on socket 0, port on socket 1 → W204.
+        p.mrs[0].socket = 0;
+        p.post(QpNum(0), WorkRequest::write(0, Sge::new(MrId(0), 0, 64), RKey(0), 0));
+        p.poll(QpNum(0), 1);
+        let out = fix_to_fixpoint(&p, &caps, &LintOptions::default());
+        assert!(out.remaining.is_empty());
+        assert!(out.preserves_results);
+        assert_eq!(out.applied, vec![Fix::MoveToSocket { machine: 0, mr: 0, socket: 1 }]);
+        assert_eq!(out.program.mrs()[0].socket, 1);
+    }
+
+    #[test]
+    fn relayout_shrinks_the_region_below_mtt_coverage() {
+        let caps = caps();
+        let opts = LintOptions::default();
+        let mut p = skeleton(4096, 4 << 30);
+        // 16 random-page writes over a 4 GB region: classic W202.
+        let pages = [977u64, 31, 407, 123, 851, 5, 660, 289, 512, 737, 91, 333, 208, 944, 66, 480];
+        for (i, pg) in pages.iter().enumerate() {
+            p.post(
+                QpNum(0),
+                WorkRequest::write(i as u64, Sge::new(MrId(0), 0, 64), RKey(0), pg * 1024 * 1024),
+            );
+            p.poll(QpNum(0), 1);
+        }
+        let diags = analyze_with(&p, &caps, &opts);
+        assert!(diags.iter().any(|d| d.code == Code::W202), "premise: W202 fires");
+        let out = fix_to_fixpoint(&p, &caps, &opts);
+        assert!(out.remaining.is_empty(), "{:?}", out.remaining);
+        assert!(!out.preserves_results, "relayout moves bytes by design");
+        let fixed_len = out.program.find_mr(1, MrId(0)).unwrap().len;
+        assert!(
+            fixed_len <= caps.mtt_coverage_bytes(),
+            "compacted footprint fits the MTT cache ({fixed_len})"
+        );
+        // Offsets are dense slots now, order-preserving by original offset.
+        let mut offs: Vec<u64> = out
+            .program
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Post { wr, .. } => wr.remote.map(|(_, o)| o),
+                _ => None,
+            })
+            .collect();
+        offs.sort_unstable();
+        let slot = offs[1] - offs[0];
+        assert!(offs.iter().enumerate().all(|(i, &o)| o == i as u64 * slot));
+    }
+
+    #[test]
+    fn consolidate_replaces_the_group_with_one_block_flush() {
+        let caps = caps();
+        let opts = LintOptions::default();
+        let mut p = skeleton(1 << 20, 1 << 20);
+        // θ small writes into block 0 → W203.
+        for i in 0..opts.theta {
+            p.post(
+                QpNum(0),
+                WorkRequest::write(
+                    i as u64,
+                    Sge::new(MrId(0), i as u64 * 64, 64),
+                    RKey(0),
+                    i as u64 * 64,
+                ),
+            );
+        }
+        p.poll(QpNum(0), opts.theta);
+        let out = fix_to_fixpoint(&p, &caps, &opts);
+        assert!(out.remaining.is_empty(), "{:?}", out.remaining);
+        assert!(!out.preserves_results);
+        assert!(matches!(out.applied[..], [Fix::Consolidate { block_base: 0, .. }]));
+        let posts: Vec<_> = out
+            .program
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Post { wr, .. } => Some(wr.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(posts.len(), 1, "the group collapsed to one flush");
+        let flush = &posts[0];
+        assert!(flush.signaled);
+        assert_eq!(flush.payload_bytes(), opts.block_bytes);
+        assert_eq!(flush.remote.unwrap().1, 0);
+        // The flush gathers from the synthesized shadow MR on machine 0.
+        let shadow = flush.sgl.as_slice()[0].mr;
+        let decl = out.program.find_mr(0, shadow).expect("shadow MR declared");
+        assert_eq!(decl.len, opts.block_bytes);
+        assert_eq!(decl.socket, 1, "shadow lives on the port's socket");
+    }
+}

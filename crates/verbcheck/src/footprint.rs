@@ -1,0 +1,250 @@
+//! Byte-interval footprints: the lattice the race analysis runs over.
+//!
+//! The race rules (W102/W103/E005) reason about *which bytes* of which
+//! MR each outstanding one-sided verb touches, not just which QP issued
+//! it. Two building blocks live here:
+//!
+//! * [`IntervalSet`] — a sorted, coalesced set of half-open byte ranges
+//!   `[start, end)`. This is the join-semilattice element: inserting a
+//!   span is the lattice join, and overlap queries decide conflicts.
+//!   The dynamic oracle (`cluster::oracle`) reuses it to expose the
+//!   union of in-flight DMA bytes per MR.
+//! * [`FootprintIndex`] — the static analyzer's map from
+//!   `(machine, MR)` to the outstanding [`OpSpan`]s targeting it, with
+//!   deterministic conflict enumeration and per-QP retirement mirroring
+//!   the poll rules (same-QP ordered-channel edges are implicit: a QP's
+//!   own spans are never conflicts).
+
+use rnicsim::{MrId, QpNum, WrId};
+
+/// A sorted set of disjoint half-open byte ranges `[start, end)`.
+///
+/// Insertion coalesces adjacent and overlapping ranges, so the set is
+/// always the minimal representation of the covered bytes — the
+/// canonical form of a lattice element.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    spans: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    /// The empty set (lattice bottom).
+    pub fn new() -> Self {
+        IntervalSet::default()
+    }
+
+    /// Insert `[start, end)`, coalescing with any ranges it touches.
+    /// Empty ranges are ignored.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        // First span that could touch the new one (its end >= start).
+        let lo = self.spans.partition_point(|&(_, e)| e < start);
+        // First span strictly beyond the new one (its start > end).
+        let hi = self.spans.partition_point(|&(s, _)| s <= end);
+        if lo == hi {
+            self.spans.insert(lo, (start, end));
+            return;
+        }
+        let merged = (start.min(self.spans[lo].0), end.max(self.spans[hi - 1].1));
+        self.spans.splice(lo..hi, [merged]);
+    }
+
+    /// Does `[start, end)` intersect any range in the set?
+    pub fn overlaps(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return false;
+        }
+        let lo = self.spans.partition_point(|&(_, e)| e <= start);
+        self.spans.get(lo).is_some_and(|&(s, _)| s < end)
+    }
+
+    /// Total number of bytes covered.
+    pub fn covered_bytes(&self) -> u64 {
+        self.spans.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// The disjoint sorted ranges.
+    pub fn spans(&self) -> &[(u64, u64)] {
+        &self.spans
+    }
+
+    /// True when nothing is covered.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+/// One outstanding one-sided operation's remote footprint, as tracked
+/// by the static analyzer between its posting event and the poll that
+/// retires it.
+#[derive(Clone, Debug)]
+pub struct OpSpan {
+    /// First remote byte touched.
+    pub start: u64,
+    /// One past the last remote byte touched.
+    pub end: u64,
+    /// QP the op was posted on.
+    pub qp: QpNum,
+    /// The op's work-request id.
+    pub wr_id: WrId,
+    /// Index of the posting event in the program.
+    pub event: usize,
+    /// Does the op write the remote bytes (Write/CAS/FAA)?
+    pub writes: bool,
+    /// Is the op an atomic (CAS/FAA)?
+    pub atomic: bool,
+    /// Verb name, for diagnostics.
+    pub kind_name: &'static str,
+    /// Value of the global poll counter when the op was posted — two
+    /// ops with equal counters have provably no poll between them.
+    pub polls_at_post: u64,
+}
+
+/// Outstanding footprints keyed by `(machine, MR)`.
+///
+/// Spans are stored in posting order per key, so conflict enumeration
+/// is deterministic (earlier post first) and per-QP retirement can cut
+/// by event index.
+#[derive(Clone, Debug, Default)]
+pub struct FootprintIndex {
+    map: std::collections::BTreeMap<(usize, u32), Vec<OpSpan>>,
+}
+
+impl FootprintIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        FootprintIndex::default()
+    }
+
+    /// Record `span` as outstanding against `mr` on `machine`.
+    pub fn insert(&mut self, machine: usize, mr: MrId, span: OpSpan) {
+        self.map.entry((machine, mr.0)).or_default().push(span);
+    }
+
+    /// Outstanding spans on other QPs that byte-overlap
+    /// `[start, end)` of `mr` on `machine`, in posting order. Same-QP
+    /// spans are excluded: the QP's ordered channel serializes them.
+    pub fn conflicts(
+        &self,
+        machine: usize,
+        mr: MrId,
+        start: u64,
+        end: u64,
+        qp: QpNum,
+    ) -> impl Iterator<Item = &OpSpan> {
+        self.map
+            .get(&(machine, mr.0))
+            .into_iter()
+            .flatten()
+            .filter(move |s| s.qp != qp && s.start < end && start < s.end)
+    }
+
+    /// Retire every span `qp` posted at or before event `last_event` —
+    /// called when a poll's completion retires those ops (RC ordering:
+    /// a polled CQE retires all earlier WRs on the same QP).
+    pub fn retire(&mut self, qp: QpNum, last_event: usize) {
+        for spans in self.map.values_mut() {
+            spans.retain(|s| s.qp != qp || s.event > last_event);
+        }
+        self.map.retain(|_, spans| !spans.is_empty());
+    }
+
+    /// Union of outstanding bytes per `(machine, MR)` key — the lattice
+    /// element the analysis has joined so far.
+    pub fn coverage(&self, machine: usize, mr: MrId) -> IntervalSet {
+        let mut set = IntervalSet::new();
+        for s in self.map.get(&(machine, mr.0)).into_iter().flatten() {
+            set.insert(s.start, s.end);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_set_coalesces_and_sorts() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 20);
+        s.insert(30, 40);
+        s.insert(0, 5);
+        assert_eq!(s.spans(), &[(0, 5), (10, 20), (30, 40)]);
+        // Bridge the middle gap: touches both neighbours.
+        s.insert(18, 32);
+        assert_eq!(s.spans(), &[(0, 5), (10, 40)]);
+        // Adjacent (end == start) coalesces too.
+        s.insert(5, 10);
+        assert_eq!(s.spans(), &[(0, 40)]);
+        assert_eq!(s.covered_bytes(), 40);
+    }
+
+    #[test]
+    fn interval_set_overlap_queries() {
+        let mut s = IntervalSet::new();
+        s.insert(16, 32);
+        s.insert(64, 128);
+        assert!(s.overlaps(0, 17));
+        assert!(s.overlaps(31, 40));
+        assert!(s.overlaps(100, 101));
+        assert!(!s.overlaps(0, 16), "half-open: end is exclusive");
+        assert!(!s.overlaps(32, 64), "gap between spans");
+        assert!(!s.overlaps(128, 256));
+        assert!(!s.overlaps(20, 20), "empty query range");
+    }
+
+    #[test]
+    fn interval_set_ignores_empty_inserts() {
+        let mut s = IntervalSet::new();
+        s.insert(8, 8);
+        assert!(s.is_empty());
+    }
+
+    fn span(qp: u32, event: usize, start: u64, end: u64, writes: bool) -> OpSpan {
+        OpSpan {
+            start,
+            end,
+            qp: QpNum(qp),
+            wr_id: WrId(event as u64),
+            event,
+            writes,
+            atomic: false,
+            kind_name: "Write",
+            polls_at_post: 0,
+        }
+    }
+
+    #[test]
+    fn index_conflicts_exclude_same_qp_and_disjoint() {
+        let mut idx = FootprintIndex::new();
+        idx.insert(1, MrId(0), span(0, 0, 0, 64, true));
+        idx.insert(1, MrId(0), span(1, 1, 128, 192, true));
+        // Same QP: ordered channel, no conflict.
+        assert_eq!(idx.conflicts(1, MrId(0), 32, 96, QpNum(0)).count(), 0);
+        // Other QP but disjoint bytes: no conflict.
+        assert_eq!(idx.conflicts(1, MrId(0), 64, 128, QpNum(2)).count(), 0);
+        // Other QP, overlapping: one conflict, the earlier post.
+        let hits: Vec<_> = idx.conflicts(1, MrId(0), 32, 96, QpNum(2)).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].event, 0);
+        // Other MR entirely.
+        assert_eq!(idx.conflicts(1, MrId(1), 0, 256, QpNum(2)).count(), 0);
+    }
+
+    #[test]
+    fn index_retire_cuts_by_qp_and_event() {
+        let mut idx = FootprintIndex::new();
+        idx.insert(0, MrId(3), span(0, 0, 0, 64, true));
+        idx.insert(0, MrId(3), span(0, 2, 64, 128, true));
+        idx.insert(0, MrId(3), span(1, 1, 256, 320, true));
+        idx.retire(QpNum(0), 0);
+        // QP 0's event-0 span is gone; its event-2 span and QP 1 remain.
+        assert_eq!(idx.conflicts(0, MrId(3), 0, 64, QpNum(9)).count(), 0);
+        assert_eq!(idx.conflicts(0, MrId(3), 64, 128, QpNum(9)).count(), 1);
+        assert_eq!(idx.conflicts(0, MrId(3), 256, 320, QpNum(9)).count(), 1);
+        assert_eq!(idx.coverage(0, MrId(3)).covered_bytes(), 128);
+    }
+}

@@ -18,15 +18,22 @@
 //! | E002 | error | atomic target not 8-byte aligned or SGL ≠ 8 bytes |
 //! | E003 | error | unsignaled run ≥ SQ depth (send-queue wedge) |
 //! | E004 | error | signaled completions can exceed CQ depth between polls |
-//! | W101 | warning | cross-QP write/read overlap with no completion ordering |
+//! | E005 | error | same-poll-window cross-QP writes to overlapping bytes |
+//! | W102 | warning | potential cross-QP write-write overlap across poll windows |
+//! | W103 | warning | cross-QP read racing an unretired write to the same bytes |
 //! | W201 | warning | SGL longer than device `max_sge` (§III-A) |
 //! | W202 | warning | random stride over a region that thrashes the MTT cache (§III-B) |
 //! | W203 | warning | ≥ θ small writes to one aligned block — consolidate (§III-C) |
 //! | W204 | warning | buffer socket differs from the QP port's socket (§III-D) |
 //!
+//! (W101, the retired QP-granular race advisory, was superseded by the
+//! byte-precise W102/W103/E005 family; the number is never reused.)
+//!
 //! Errors describe programs that fault or corrupt on real hardware even
 //! if they "work" in a simulator; warnings describe programs that leave
-//! paper-quantified performance on the table.
+//! paper-quantified performance on the table. Every W2xx warning also
+//! carries a machine-applicable [`Fix`]; [`fix_to_fixpoint`] applies
+//! them and re-lints until the program is warning-free.
 //!
 //! ## Example
 //!
@@ -51,8 +58,12 @@
 
 pub mod analyze;
 pub mod diag;
+pub mod fix;
+pub mod footprint;
 pub mod program;
 
 pub use analyze::{analyze, analyze_with, has_errors, LintOptions};
 pub use diag::{Code, Diagnostic, Severity, Span};
+pub use fix::{apply_fix, fix_to_fixpoint, Fix, FixOutcome};
+pub use footprint::{FootprintIndex, IntervalSet, OpSpan};
 pub use program::{Event, MrDecl, QpDecl, VerbProgram};

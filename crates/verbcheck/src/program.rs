@@ -70,9 +70,9 @@ pub enum Event {
 /// A complete analyzable program.
 #[derive(Clone, Debug, Default)]
 pub struct VerbProgram {
-    mrs: Vec<MrDecl>,
-    qps: Vec<QpDecl>,
-    events: Vec<Event>,
+    pub(crate) mrs: Vec<MrDecl>,
+    pub(crate) qps: Vec<QpDecl>,
+    pub(crate) events: Vec<Event>,
 }
 
 impl VerbProgram {

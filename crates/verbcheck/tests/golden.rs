@@ -66,7 +66,31 @@ fn render_one(code: Code) -> String {
             p.poll(QpNum(0), 5);
             analyze(&p, &small)
         }
-        Code::W101 => {
+        Code::E005 => {
+            // Two writes overlapping on [48,64) with no poll between the
+            // posts: provably unordered.
+            let mut p = skeleton();
+            p.qp(QpNum(1), 0, 1, 1, 1);
+            p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
+            p.post(QpNum(1), WorkRequest::write(2, Sge::new(MrId(0), 128, 64), RKey(1), 48));
+            p.poll(QpNum(0), 1);
+            p.poll(QpNum(1), 1);
+            analyze(&p, &caps)
+        }
+        Code::W102 => {
+            // The poll retires only the first of QP 0's writes; QP 1
+            // then overlaps the still-outstanding second one.
+            let mut p = skeleton();
+            p.qp(QpNum(1), 0, 1, 1, 1);
+            p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
+            p.post(QpNum(0), WorkRequest::write(2, Sge::new(MrId(0), 64, 64), RKey(1), 64));
+            p.poll(QpNum(0), 1);
+            p.post(QpNum(1), WorkRequest::write(3, Sge::new(MrId(0), 128, 64), RKey(1), 96));
+            p.poll(QpNum(0), 1);
+            p.poll(QpNum(1), 1);
+            analyze(&p, &caps)
+        }
+        Code::W103 => {
             let mut p = skeleton();
             p.qp(QpNum(1), 0, 1, 1, 1);
             p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
@@ -144,6 +168,7 @@ fn every_code_renders_like_the_golden_file() {
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_diagnostics.txt");
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        print_refresh_summary(&std::fs::read_to_string(path).unwrap_or_default(), &actual);
         std::fs::write(path, &actual).unwrap();
         return;
     }
@@ -153,5 +178,47 @@ fn every_code_renders_like_the_golden_file() {
         actual, expected,
         "rendered diagnostics drifted from the golden file; \
          if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// Per-code diff summary printed on `UPDATE_GOLDEN=1`, so a refresh
+/// shows what it is about to change instead of silently overwriting.
+fn print_refresh_summary(old: &str, new: &str) {
+    let by_code = |text: &str| -> std::collections::BTreeMap<String, String> {
+        text.split("\n\n")
+            .filter(|b| !b.trim().is_empty())
+            .filter_map(|b| {
+                let code = b.split('[').nth(1)?.split(']').next()?.to_string();
+                Some((code, b.to_string()))
+            })
+            .collect()
+    };
+    let (old_blocks, new_blocks) = (by_code(old), by_code(new));
+    let mut added = 0usize;
+    let mut removed = 0usize;
+    let mut changed = 0usize;
+    for (code, block) in &new_blocks {
+        match old_blocks.get(code) {
+            None => {
+                added += 1;
+                eprintln!("golden refresh: + {code} (new code)");
+            }
+            Some(o) if o != block => {
+                changed += 1;
+                eprintln!("golden refresh: ~ {code} (rendering changed)");
+            }
+            Some(_) => {}
+        }
+    }
+    for code in old_blocks.keys() {
+        if !new_blocks.contains_key(code) {
+            removed += 1;
+            eprintln!("golden refresh: - {code} (code removed)");
+        }
+    }
+    eprintln!(
+        "golden refresh: {added} added, {removed} removed, {changed} changed, \
+         {} unchanged",
+        new_blocks.len() - added - changed
     );
 }

@@ -157,7 +157,7 @@ fn e004_silent_when_polls_keep_up() {
     assert!(analyze(&p, &tiny_caps()).is_empty());
 }
 
-// ---------------------------------------------------------------- W101
+// ----------------------------------------------- W102/W103/E005 races
 
 /// Skeleton with a second QP to the same remote machine.
 fn two_qp_skeleton() -> VerbProgram {
@@ -167,35 +167,111 @@ fn two_qp_skeleton() -> VerbProgram {
 }
 
 #[test]
-fn w101_fires_on_unordered_cross_qp_write_read_overlap() {
+fn w103_fires_on_unordered_cross_qp_write_read_overlap() {
     let mut p = two_qp_skeleton();
     let w = p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
     p.post(QpNum(1), WorkRequest::read(2, Sge::new(MrId(0), 128, 64), RKey(1), 32));
     let diags = analyze(&p, &DeviceCaps::default());
     let codes: Vec<Code> = diags.iter().map(|d| d.code).collect();
-    assert_eq!(codes, vec![Code::W101]);
-    // The diagnostic names the earlier write as the related program point.
+    assert_eq!(codes, vec![Code::W103]);
+    // The diagnostic names the earlier write as the related program
+    // point and the exact overlapping bytes: [0,64) ∩ [32,96) = [32,64).
     assert_eq!(diags[0].related.as_ref().unwrap().0.event, w);
-    assert!(!has_errors(&diags), "races are warnings: they may be intentional");
+    assert!(diags[0].message.contains("[0x20, 0x40)"), "{}", diags[0].message);
+    assert!(!has_errors(&diags), "read-write races are warnings: they may be intentional");
 }
 
 #[test]
-fn w101_fires_on_cross_qp_write_write_and_atomic_overlap() {
+fn e005_fires_on_same_window_write_write_and_write_atomic() {
+    // Two writes overlapping on [48,64) with no poll anywhere between
+    // the posts: provably unordered, an error.
     let mut p = two_qp_skeleton();
     p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
     p.post(QpNum(1), WorkRequest::write(2, Sge::new(MrId(0), 128, 64), RKey(1), 48));
+    let diags = analyze(&p, &DeviceCaps::default());
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec![Code::E005]);
+    assert!(diags[0].message.contains("[0x30, 0x40)"), "{}", diags[0].message);
+    assert!(has_errors(&diags), "same-window write-write is provably racy");
+
+    // A non-atomic write racing an atomic in the same window is just as
+    // undefined for the plain write's bytes.
     let mut p2 = two_qp_skeleton();
     p2.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
     p2.post(
         QpNum(1),
         atomic(VerbKind::FetchAdd { delta: 1 }, Sge::new(MrId(0), 128, 8), RKey(1), 32),
     );
-    assert_eq!(codes(&p), vec![Code::W101]);
-    assert_eq!(codes(&p2), vec![Code::W101]);
+    assert_eq!(codes(&p2), vec![Code::E005]);
 }
 
 #[test]
-fn w101_silent_when_a_poll_orders_the_ops() {
+fn atomic_atomic_same_window_overlap_is_only_w102() {
+    // Two atomics on the same word: the RNIC serializes them (§III-E),
+    // so the overlap is not *undefined* — but their order is still
+    // unobserved, which is worth a warning.
+    let mut p = two_qp_skeleton();
+    p.post(QpNum(0), atomic(VerbKind::FetchAdd { delta: 1 }, Sge::new(MrId(0), 0, 8), RKey(1), 32));
+    p.post(
+        QpNum(1),
+        atomic(
+            VerbKind::CompareSwap { expected: 0, desired: 1 },
+            Sge::new(MrId(0), 8, 8),
+            RKey(1),
+            32,
+        ),
+    );
+    let diags = analyze(&p, &DeviceCaps::default());
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec![Code::W102]);
+    assert!(!has_errors(&diags));
+}
+
+#[test]
+fn w102_fires_when_a_poll_leaves_the_earlier_write_unretired() {
+    // QP 0 posts two writes; the poll retires only the first. QP 1 then
+    // overlaps the *second* — a poll intervened (different windows, so
+    // not provably racy) but that poll did not retire the conflicting
+    // op: a potential race, W102.
+    let mut p = two_qp_skeleton();
+    p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
+    let w2 = p.post(QpNum(0), WorkRequest::write(2, Sge::new(MrId(0), 64, 64), RKey(1), 64));
+    p.poll(QpNum(0), 1);
+    p.post(QpNum(1), WorkRequest::write(3, Sge::new(MrId(0), 128, 64), RKey(1), 96));
+    p.poll(QpNum(0), 1);
+    p.poll(QpNum(1), 1);
+    let diags = analyze(&p, &DeviceCaps::default());
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec![Code::W102]);
+    assert_eq!(diags[0].related.as_ref().unwrap().0.event, w2);
+    assert!(diags[0].message.contains("[0x60, 0x80)"), "{}", diags[0].message);
+    assert!(!has_errors(&diags));
+}
+
+#[test]
+fn every_conflicting_pair_is_reported() {
+    // A third write overlapping two distinct outstanding footprints
+    // draws one diagnostic per pair — the lattice keeps every span, not
+    // just the first hit.
+    let mut p = two_qp_skeleton();
+    p.qp(QpNum(2), 0, 1, 1, 1);
+    p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
+    p.post(QpNum(1), WorkRequest::write(2, Sge::new(MrId(0), 128, 64), RKey(1), 512));
+    p.post(QpNum(2), WorkRequest::write(3, Sge::new(MrId(0), 256, 64), RKey(1), 32));
+    let diags = analyze(&p, &DeviceCaps::default());
+    // Pair (0,2): [0,64) ∩ [32,96); pair (1,2) is disjoint (512..576).
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec![Code::E005]);
+    // Now overlap both: a fourth write covering [0,576).
+    let mut p = two_qp_skeleton();
+    p.qp(QpNum(2), 0, 1, 1, 1);
+    let a = p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
+    let b = p.post(QpNum(1), WorkRequest::write(2, Sge::new(MrId(0), 128, 64), RKey(1), 512));
+    p.post(QpNum(2), WorkRequest::write(3, Sge::new(MrId(0), 256, 1024), RKey(1), 0));
+    let diags = analyze(&p, &DeviceCaps::default());
+    assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec![Code::E005, Code::E005]);
+    let related: Vec<usize> = diags.iter().map(|d| d.related.as_ref().unwrap().0.event).collect();
+    assert_eq!(related, vec![a, b], "one report per conflicting pair, in posting order");
+}
+
+#[test]
+fn race_silent_when_a_poll_orders_the_ops() {
     let mut p = two_qp_skeleton();
     p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
     p.poll(QpNum(0), 1); // happens-before edge
@@ -205,11 +281,11 @@ fn w101_silent_when_a_poll_orders_the_ops() {
 }
 
 #[test]
-fn w101_silent_on_disjoint_ranges_and_read_read() {
+fn race_silent_on_disjoint_ranges_and_read_read() {
     let mut p = two_qp_skeleton();
-    // Disjoint ranges.
+    // Disjoint ranges: byte-precise, so even adjacent writes are fine.
     p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 0));
-    p.post(QpNum(1), WorkRequest::write(2, Sge::new(MrId(0), 128, 64), RKey(1), 1024));
+    p.post(QpNum(1), WorkRequest::write(2, Sge::new(MrId(0), 128, 64), RKey(1), 64));
     p.poll(QpNum(0), 1);
     p.poll(QpNum(1), 1);
     // Read/read overlap carries no hazard.
@@ -386,18 +462,19 @@ fn w204_silent_on_affine_placement() {
 fn multiple_rules_fire_together_in_event_order() {
     let mut p = two_qp_skeleton();
     // Out-of-bounds write: E001. An OOB op gets no tracked remote range,
-    // so it cannot also seed a W101.
+    // so it cannot also seed a race diagnostic.
     p.post(QpNum(0), WorkRequest::write(1, Sge::new(MrId(0), 0, 64), RKey(1), 4090));
     // Misaligned (but in-bounds) atomic: E002, and it stays outstanding.
     p.post(
         QpNum(0),
         atomic(VerbKind::FetchAdd { delta: 1 }, Sge::new(MrId(0), 0, 8), RKey(1), 4084),
     );
-    // Unordered overlapping write on the other QP: W101 against the atomic.
+    // Unordered overlapping plain write on the other QP, same poll
+    // window: E005 against the atomic.
     p.post(QpNum(1), WorkRequest::write(2, Sge::new(MrId(0), 64, 8), RKey(1), 4088));
     let diags = analyze(&p, &DeviceCaps::default());
     let codes: Vec<Code> = diags.iter().map(|d| d.code).collect();
-    assert_eq!(codes, vec![Code::E001, Code::E002, Code::W101]);
+    assert_eq!(codes, vec![Code::E001, Code::E002, Code::E005]);
     assert!(has_errors(&diags));
     // Event order is preserved.
     assert!(diags.windows(2).all(|w| w[0].span.event <= w[1].span.event));

@@ -33,4 +33,10 @@ cargo run --release --offline -p bench -- --serial --bench-compare BENCH_engine.
 echo "== static verb analysis (verbcheck over every experiment program) =="
 cargo run --release --offline -p bench -- --lint all
 
+echo "== device-capability sweep (every profile must stay error-free) =="
+cargo run --release --offline -p bench -- --lint --caps sweep all >/dev/null
+
+echo "== auto-fix fixpoint (zero W2xx after repro --lint --fix all) =="
+cargo run --release --offline -p bench -- --lint --fix all >/dev/null
+
 echo "CI OK"
