@@ -21,6 +21,7 @@ pub mod atomics;
 pub mod harness;
 pub mod lint;
 pub mod micro;
+pub mod openloop;
 pub mod report;
 
 pub use appfigs::Scale;
@@ -135,6 +136,10 @@ pub const ALL_IDS: &[&str] = &[
     "ablate-mtt",
     "ablate-backoff",
     "ablate-inline",
+    "traffic-hashtable",
+    "traffic-shuffle",
+    "traffic-join",
+    "traffic-dlog",
 ];
 
 /// The §III microbenchmark set (the bench wall-clock acceptance target).
@@ -175,6 +180,10 @@ pub fn run_experiment(id: &str, scale: Scale) -> Vec<Experiment> {
         "ablate-mtt" => ablate::ablate_mtt_capacity(),
         "ablate-backoff" => ablate::ablate_backoff(),
         "ablate-inline" => ablate::ablate_inline(),
+        "traffic-hashtable" => openloop::experiment("traffic-hashtable", scale),
+        "traffic-shuffle" => openloop::experiment("traffic-shuffle", scale),
+        "traffic-join" => openloop::experiment("traffic-join", scale),
+        "traffic-dlog" => openloop::experiment("traffic-dlog", scale),
         other => panic!("unknown experiment id {other:?}; known: {ALL_IDS:?}"),
     }
 }

@@ -49,6 +49,10 @@ pub const ALL: &[&str] = &[
     "ablate-mtt",
     "ablate-backoff",
     "ablate-inline",
+    "traffic-hashtable",
+    "traffic-shuffle",
+    "traffic-join",
+    "traffic-dlog",
 ];
 
 /// Ids whose experiments post no verbs at all (their lint run is
@@ -462,6 +466,16 @@ pub fn programs_for(id: &str) -> Vec<(String, VerbProgram)> {
         "extra-reg-cost" => vec![named("pooled-vs-onpath", reg_cost_program())],
         "ablate-occupancy" | "ablate-mtt" => vec![named("rand-write", rand_write_program())],
         "ablate-inline" => vec![named("small-write", inline_program())],
+        // The open-loop traffic experiments reuse the traffic crate's own
+        // verb programs, so static analysis sees exactly what the drivers
+        // post (per-variant posting shapes, sockets, and batch flushes).
+        "traffic-hashtable" | "traffic-shuffle" | "traffic-join" | "traffic-dlog" => {
+            let app = crate::openloop::app_of(id);
+            vec![
+                named("basic", traffic::verb_program(app, false)),
+                named("optimized", traffic::verb_program(app, true)),
+            ]
+        }
         other => panic!("unknown experiment id {other:?}; known: {:?}", crate::ALL_IDS),
     }
 }
@@ -731,6 +745,23 @@ mod tests {
         for id in ALL {
             if !NO_TRAFFIC.contains(id) {
                 assert!(!programs_for(id).is_empty(), "{id} has no lint program");
+            }
+        }
+        // Open-loop traffic experiments post verbs by construction, so a
+        // `traffic-*` id may never hide in NO_TRAFFIC, and its lint entry
+        // must cover both variants (the basic and optimized drivers post
+        // different shapes — single ops vs batched flushes).
+        let traffic_ids: Vec<&str> =
+            crate::ALL_IDS.iter().copied().filter(|id| id.starts_with("traffic-")).collect();
+        assert_eq!(traffic_ids.len(), 4, "expected one traffic id per case-study app");
+        for id in traffic_ids {
+            assert!(!NO_TRAFFIC.contains(&id), "{id} posts verbs; it cannot be NO_TRAFFIC");
+            let labels: Vec<String> = programs_for(id).into_iter().map(|(l, _)| l).collect();
+            for variant in ["basic", "optimized"] {
+                assert!(
+                    labels.contains(&format!("{id}/{variant}")),
+                    "{id} lint entry is missing the {variant} variant (has {labels:?})"
+                );
             }
         }
     }

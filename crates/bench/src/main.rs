@@ -12,6 +12,12 @@
 //! repro --check-determinism # prove serial/parallel/unbatched/sharded runs agree
 //! repro --bench-compare BENCH_engine.json   # diff a fresh run vs baseline
 //! repro --lint all          # static verb analysis instead of running
+//!
+//! repro --traffic all --load knee --apps-json BENCH_apps.json
+//!                           # open-loop capacity knees (p99 <= SLO) per app
+//! repro --traffic shuffle --load 0.25:4:6    # fixed offered-load sweep
+//! repro --traffic hashtable --load 0.1:0.3:2 --check-determinism
+//!                           # 4-way byte-identity of the traffic engine
 //! ```
 //!
 //! Experiments are independent deterministic simulations, so the runner
@@ -145,6 +151,111 @@ fn check_determinism(scale: Scale) {
          output identical ({} bytes)",
         a.len()
     );
+}
+
+/// Parsed `--load` spec: locate the knee, or sweep explicit loads.
+enum LoadSpec {
+    /// Walk offered load to the p99-SLO knee per app variant.
+    Knee,
+    /// Fixed offered loads (MOPS), in order.
+    Loads(Vec<f64>),
+}
+
+/// Parse `--load`: `knee`, a single MOPS value, or `a:b:n` (n loads
+/// linearly spaced from a to b inclusive).
+fn parse_load(spec: &str) -> Option<LoadSpec> {
+    if spec == "knee" {
+        return Some(LoadSpec::Knee);
+    }
+    if let Ok(v) = spec.parse::<f64>() {
+        return (v > 0.0).then(|| LoadSpec::Loads(vec![v]));
+    }
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() != 3 {
+        return None;
+    }
+    let a = parts[0].parse::<f64>().ok()?;
+    let b = parts[1].parse::<f64>().ok()?;
+    let n = parts[2].parse::<usize>().ok()?;
+    if a <= 0.0 || b < a || n == 0 {
+        return None;
+    }
+    let loads = if n == 1 {
+        vec![a]
+    } else {
+        (0..n).map(|i| a + (b - a) * i as f64 / (n - 1) as f64).collect()
+    };
+    Some(LoadSpec::Loads(loads))
+}
+
+/// Parse `--traffic`: one app name or `all`.
+fn parse_traffic_apps(spec: &str) -> Option<Vec<traffic::AppKind>> {
+    if spec == "all" {
+        return Some(traffic::AppKind::all().to_vec());
+    }
+    traffic::AppKind::parse(spec).map(|a| vec![a])
+}
+
+/// The traffic engine's own four-way byte-identity gate: the rendered
+/// sweep table (quantiles *and* histogram digests) must be identical
+/// serially, in parallel across points, with the batched device pipeline
+/// disabled, and on the sharded engine (`shards = 2`). Exits non-zero on
+/// divergence.
+fn check_traffic_determinism(apps: &[traffic::AppKind], loads: &[f64], scale: Scale) {
+    use bench::openloop::sweep_table;
+    set_parallelism(Some(1));
+    let serial = sweep_table(apps, loads, scale, 1);
+    set_parallelism(None);
+    let parallel = sweep_table(apps, loads, scale, 1);
+    if serial != parallel {
+        determinism_failed("traffic serial vs parallel", &serial, &parallel);
+    }
+    cluster::set_batched_default(false);
+    set_parallelism(Some(1));
+    let unbatched = sweep_table(apps, loads, scale, 1);
+    cluster::set_batched_default(true);
+    if serial != unbatched {
+        determinism_failed("traffic batched vs unbatched pipeline", &serial, &unbatched);
+    }
+    let sharded = sweep_table(apps, loads, scale, 2);
+    set_parallelism(None);
+    if serial != sharded {
+        determinism_failed("traffic serial vs sharded (shards=2)", &serial, &sharded);
+    }
+    println!(
+        "traffic determinism check passed: serial, parallel, unbatched-pipeline, and sharded \
+         (shards=2) sweep tables identical ({} bytes)",
+        serial.len()
+    );
+}
+
+/// `repro --traffic`: knee tables (optionally written as
+/// `BENCH_apps.json`) or fixed offered-load sweeps.
+fn run_traffic_mode(
+    apps: &[traffic::AppKind],
+    load: &LoadSpec,
+    slo_us: Option<f64>,
+    apps_json_path: Option<&PathBuf>,
+    scale: Scale,
+) {
+    match load {
+        LoadSpec::Loads(loads) => {
+            if apps_json_path.is_some() {
+                eprintln!("--apps-json records knee points; use it with --load knee");
+                std::process::exit(2);
+            }
+            print!("{}", bench::openloop::sweep_table(apps, loads, scale, 1));
+        }
+        LoadSpec::Knee => {
+            let rows = bench::openloop::knee_rows(apps, scale, slo_us);
+            print!("{}", bench::openloop::knee_table(&rows));
+            if let Some(path) = apps_json_path {
+                std::fs::write(path, bench::openloop::apps_json(&rows, scale))
+                    .expect("write apps json");
+                eprintln!("[wrote {}]", path.display());
+            }
+        }
+    }
 }
 
 /// One experiment row parsed back out of a committed bench JSON.
@@ -315,9 +426,47 @@ fn main() {
     let mut compare_path: Option<PathBuf> = None;
     // `Some(None)` = explicit auto, `Some(Some(n))` = fixed shard count.
     let mut shards_req: Option<Option<usize>> = None;
+    let mut traffic_apps: Option<Vec<traffic::AppKind>> = None;
+    let mut load_spec: Option<LoadSpec> = None;
+    let mut slo_us: Option<f64> = None;
+    let mut apps_json_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--traffic" => {
+                let spec = args.next().unwrap_or_default();
+                traffic_apps = Some(parse_traffic_apps(&spec).unwrap_or_else(|| {
+                    eprintln!(
+                        "--traffic needs an app name ({:?}) or 'all'",
+                        traffic::AppKind::all().map(|a| a.name())
+                    );
+                    std::process::exit(2);
+                }));
+            }
+            "--load" => {
+                let spec = args.next().unwrap_or_default();
+                load_spec = Some(parse_load(&spec).unwrap_or_else(|| {
+                    eprintln!("--load needs 'knee', a MOPS value, or a:b:n (got {spec:?})");
+                    std::process::exit(2);
+                }));
+            }
+            "--slo" => {
+                slo_us = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|&v| v > 0.0)
+                        .unwrap_or_else(|| {
+                            eprintln!("--slo needs a positive p99 bound in microseconds");
+                            std::process::exit(2);
+                        }),
+                );
+            }
+            "--apps-json" => {
+                apps_json_path = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--apps-json needs a file path");
+                    std::process::exit(2);
+                })));
+            }
             "--paper-scale" => scale.paper = true,
             "--serial" => set_parallelism(Some(1)),
             "--shards" => {
@@ -382,9 +531,15 @@ fn main() {
                     "usage: repro [all | micro | <id>...] [--paper-scale] [--out DIR] \
                      [--serial | --jobs N] [--shards N|auto] [--bench-json PATH] \
                      [--bench-compare PATH] [--check-determinism] \
-                     [--lint [--fix] [--caps PROFILE|FILE|sweep]]"
+                     [--lint [--fix] [--caps PROFILE|FILE|sweep]] \
+                     [--traffic APP|all [--load knee|MOPS|a:b:n] [--slo US] [--apps-json PATH]]"
                 );
                 println!("ids: {ALL_IDS:?}");
+                println!(
+                    "traffic apps: {:?}; --load knee (default) finds each variant's max load \
+                     with p99 <= SLO, a:b:n sweeps a fixed grid",
+                    traffic::AppKind::all().map(|a| a.name())
+                );
                 println!(
                     "caps profiles: {:?} (or a `key = value` file; 'sweep' lints every profile)",
                     rnicsim::PROFILES.iter().map(|(n, _)| *n).collect::<Vec<_>>()
@@ -397,6 +552,31 @@ fn main() {
     }
     if let Some(req) = shards_req {
         cluster::set_shards_default(req);
+    }
+    if traffic_apps.is_none()
+        && (load_spec.is_some() || slo_us.is_some() || apps_json_path.is_some())
+    {
+        eprintln!("--load/--slo/--apps-json only apply together with --traffic");
+        std::process::exit(2);
+    }
+    if let Some(apps) = &traffic_apps {
+        if do_lint || do_fix || compare_path.is_some() || !ids.is_empty() {
+            eprintln!("--traffic runs the open-loop engine; drop --lint/--fix/--bench-compare/ids");
+            std::process::exit(2);
+        }
+        let load = load_spec.unwrap_or(LoadSpec::Knee);
+        if do_check {
+            // A knee search probes load adaptively, so byte-identity is
+            // checked on a fixed grid: the one given, or a small default.
+            let loads = match &load {
+                LoadSpec::Loads(l) => l.clone(),
+                LoadSpec::Knee => vec![0.25, 1.0],
+            };
+            check_traffic_determinism(apps, &loads, scale);
+            return;
+        }
+        run_traffic_mode(apps, &load, slo_us, apps_json_path.as_ref(), scale);
+        return;
     }
     if do_check {
         check_determinism(scale);

@@ -12,36 +12,31 @@
 //! log-time sift on every such push and pop. The queue therefore keeps a
 //! sorted *near* batch (a `VecDeque` drained front-to-back, insertion by
 //! backwards scan that in practice touches the tail) and a *far*
-//! `BinaryHeap` for everything beyond the batch horizon. The invariant
+//! [`TimingWheel`] for everything beyond the batch horizon. The invariant
 //! `max(near) <= min(far)` (comparing `(at, seq)` keys, so a far entry at
 //! the same timestamp but smaller sequence number counts as *earlier*
 //! and must not be shadowed by near) makes `pop` a `VecDeque::pop_front`
 //! in the common case; when near drains we refill it with a batch popped
-//! off the heap — heap pops come out in exact `(at, seq)` order, so the
+//! off the wheel — wheel pops come out in exact `(at, seq)` order, so the
 //! refill preserves the determinism contract across the boundary.
+//!
+//! The far structure used to be a `BinaryHeap`; open-loop traffic keeps
+//! millions of arrival timers pending there, and the per-push log-time
+//! sift made the heap the bottleneck. The wheel pushes in O(1) and is
+//! pinned byte-identical to the heap by the oracle tests below and in
+//! `tests/wheel_oracle.rs`.
 
 use crate::time::SimTime;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use crate::wheel::TimingWheel;
+use std::collections::VecDeque;
 
-#[derive(PartialEq, Eq)]
+/// A near-batch entry. The `(at, seq)` key order is maintained positionally
+/// (pushes insert after all `entry.at <= at` since the new seq is largest;
+/// refills append in exact wheel pop order), so the seq itself need not be
+/// stored.
 struct Entry<T> {
     at: SimTime,
-    seq: u64,
     payload: T,
-}
-
-// Ordering is by (time, seq) only; payloads never participate.
-impl<T: Eq> Ord for Entry<T> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-impl<T: Eq> PartialOrd for Entry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// How many far-future events a refill moves into the near batch. Small
@@ -53,19 +48,9 @@ pub struct EventQueue<T> {
     /// Sorted by `(at, seq)`; popped from the front. Every key in `near`
     /// is `<=` every key in `far`.
     near: VecDeque<Entry<T>>,
-    far: BinaryHeap<Reverse<Entry<Keyed<T>>>>,
+    far: TimingWheel<T>,
     seq: u64,
 }
-
-/// Wrapper that exempts the payload from `Eq`/`Ord` requirements.
-struct Keyed<T>(T);
-
-impl<T> PartialEq for Keyed<T> {
-    fn eq(&self, _: &Self) -> bool {
-        true
-    }
-}
-impl<T> Eq for Keyed<T> {}
 
 impl<T> Default for EventQueue<T> {
     fn default() -> Self {
@@ -76,7 +61,7 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { near: VecDeque::new(), far: BinaryHeap::new(), seq: 0 }
+        EventQueue { near: VecDeque::new(), far: TimingWheel::new(), seq: 0 }
     }
 
     /// Schedule `payload` to fire at `at`.
@@ -88,9 +73,9 @@ impl<T> EventQueue<T> {
         // entry at the same timestamp carries a smaller seq and must
         // dequeue first (this matters after a refill splits a run of
         // equal-time entries across the near/far boundary). Checking the
-        // heap root is one comparison.
-        let beats_far = match self.far.peek() {
-            Some(Reverse(top)) => at < top.at,
+        // wheel's minimum is one comparison.
+        let beats_far = match self.far.peek_key() {
+            Some((top, _)) => at < top,
             None => true,
         };
         match self.near.back() {
@@ -99,16 +84,16 @@ impl<T> EventQueue<T> {
                 // all entries with key <= (at, seq); since seq is the
                 // largest so far, that is after all `entry.at <= at`.
                 let idx = self.near.partition_point(|e| e.at <= at);
-                self.near.insert(idx, Entry { at, seq, payload });
+                self.near.insert(idx, Entry { at, payload });
             }
             Some(_) => {
                 // Beyond the near horizon (or tied with a far entry):
-                // the heap keeps it ordered by (at, seq).
-                self.far.push(Reverse(Entry { at, seq, payload: Keyed(payload) }));
+                // the wheel keeps it ordered by (at, seq).
+                self.far.push(at, seq, payload);
             }
-            None if beats_far => self.near.push_back(Entry { at, seq, payload }),
+            None if beats_far => self.near.push_back(Entry { at, payload }),
             None => {
-                self.far.push(Reverse(Entry { at, seq, payload: Keyed(payload) }));
+                self.far.push(at, seq, payload);
             }
         }
     }
@@ -125,7 +110,7 @@ impl<T> EventQueue<T> {
     pub fn peek_time(&self) -> Option<SimTime> {
         match self.near.front() {
             Some(e) => Some(e.at),
-            None => self.far.peek().map(|Reverse(e)| e.at),
+            None => self.far.peek_key().map(|(at, _)| at),
         }
     }
 
@@ -140,15 +125,13 @@ impl<T> EventQueue<T> {
     }
 
     /// Move a batch of the earliest far-future events into the (empty)
-    /// near batch. Heap pops come out in exact `(at, seq)` order, so
+    /// near batch. Wheel pops come out in exact `(at, seq)` order, so
     /// equal-timestamp runs split across a batch boundary stay ordered.
     fn refill(&mut self) {
         debug_assert!(self.near.is_empty());
         for _ in 0..REFILL_BATCH {
             match self.far.pop() {
-                Some(Reverse(e)) => {
-                    self.near.push_back(Entry { at: e.at, seq: e.seq, payload: e.payload.0 })
-                }
+                Some((at, _seq, payload)) => self.near.push_back(Entry { at, payload }),
                 None => break,
             }
         }

@@ -58,6 +58,13 @@ impl Summary {
         self.quantile(0.99)
     }
 
+    /// 99.9th percentile latency. Exact (nearest-rank over the retained
+    /// samples); serves as the oracle the streaming
+    /// [`LatencyHistogram`] is property-tested against.
+    pub fn p999(&self) -> SimTime {
+        self.quantile(0.999)
+    }
+
     /// Smallest sample.
     pub fn min(&self) -> SimTime {
         self.sorted[0]
@@ -66,6 +73,256 @@ impl Summary {
     /// Largest sample.
     pub fn max(&self) -> SimTime {
         *self.sorted.last().expect("non-empty")
+    }
+}
+
+/// Values below this record into exact unit-width buckets.
+const HIST_LINEAR_MAX: u64 = 256;
+/// log2 of the subbuckets per octave above the linear range; 128
+/// subbuckets bound the relative quantile error by 1/128 < 0.8%.
+const HIST_SUB_BITS: u32 = 7;
+const HIST_SUBS: usize = 1 << HIST_SUB_BITS;
+
+/// Streaming log-bucketed latency histogram (HDR-style).
+///
+/// `record` is O(1) and allocation-free once the bucket array has grown to
+/// cover the observed range (at most 7424 buckets for the full `u64`
+/// picosecond range — constant space no matter how many samples stream
+/// through). Values below [`HIST_LINEAR_MAX`] ps are exact; above, each
+/// octave is split into 128 subbuckets, so any reported quantile is the
+/// true bucket lower bound and under-reads the exact order statistic by
+/// less than 1/128.
+///
+/// `merge` adds bucket counts elementwise, which is commutative and
+/// associative — but the traffic engine still folds per-worker histograms
+/// in worker-index order so aggregate digests are byte-identical between
+/// serial, parallel, and sharded runs by construction rather than by
+/// arithmetic accident.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum_ps: u128,
+    min_ps: u64,
+    max_ps: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { counts: Vec::new(), count: 0, sum_ps: 0, min_ps: u64::MAX, max_ps: 0 }
+    }
+
+    /// Bucket index for a picosecond value.
+    #[inline]
+    fn index(v: u64) -> usize {
+        if v < HIST_LINEAR_MAX {
+            v as usize
+        } else {
+            let h = (63 - v.leading_zeros()) as usize; // >= 8
+            let sub = ((v >> (h as u32 - HIST_SUB_BITS)) as usize) & (HIST_SUBS - 1);
+            HIST_LINEAR_MAX as usize + (h - 8) * HIST_SUBS + sub
+        }
+    }
+
+    /// Smallest value that maps to bucket `idx`.
+    #[inline]
+    fn lower_bound(idx: usize) -> u64 {
+        if idx < HIST_LINEAR_MAX as usize {
+            idx as u64
+        } else {
+            let h = 8 + (idx - HIST_LINEAR_MAX as usize) / HIST_SUBS;
+            let sub = ((idx - HIST_LINEAR_MAX as usize) % HIST_SUBS) as u64;
+            (HIST_SUBS as u64 + sub) << (h as u32 - HIST_SUB_BITS)
+        }
+    }
+
+    /// Record one latency sample.
+    #[inline]
+    pub fn record(&mut self, sample: SimTime) {
+        self.record_ps(sample.as_ps());
+    }
+
+    /// Record one sample given in raw picoseconds.
+    #[inline]
+    pub fn record_ps(&mut self, v: u64) {
+        let idx = Self::index(v);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum_ps += v as u128;
+        self.min_ps = self.min_ps.min(v);
+        self.max_ps = self.max_ps.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (exact). `None` when empty.
+    pub fn min(&self) -> Option<SimTime> {
+        (self.count > 0).then(|| SimTime::from_ps(self.min_ps))
+    }
+
+    /// Largest recorded sample (exact). `None` when empty.
+    pub fn max(&self) -> Option<SimTime> {
+        (self.count > 0).then(|| SimTime::from_ps(self.max_ps))
+    }
+
+    /// Arithmetic mean (exact; the running sum is exact even though the
+    /// buckets are lossy). `None` when empty.
+    pub fn mean(&self) -> Option<SimTime> {
+        (self.count > 0).then(|| SimTime::from_ps((self.sum_ps / self.count as u128) as u64))
+    }
+
+    /// The `q`-quantile by the nearest-rank method, reported as the lower
+    /// bound of the bucket holding the true order statistic (clamped into
+    /// `[min, max]`, so extreme quantiles are exact). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<SimTime> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let v = Self::lower_bound(idx).clamp(self.min_ps, self.max_ps);
+                return Some(SimTime::from_ps(v));
+            }
+        }
+        Some(SimTime::from_ps(self.max_ps))
+    }
+
+    /// Median latency. `None` when empty.
+    pub fn p50(&self) -> Option<SimTime> {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile latency. `None` when empty.
+    pub fn p99(&self) -> Option<SimTime> {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile latency. `None` when empty.
+    pub fn p999(&self) -> Option<SimTime> {
+        self.quantile(0.999)
+    }
+
+    /// Absorb another histogram: bucket counts add elementwise, moments
+    /// and extrema fold. O(buckets), independent of sample count.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, &src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum_ps += other.sum_ps;
+        self.min_ps = self.min_ps.min(other.min_ps);
+        self.max_ps = self.max_ps.max(other.max_ps);
+    }
+
+    /// FNV-1a digest over the full bucket state. Two histograms digest
+    /// equal iff every bucket count and moment matches — the determinism
+    /// gate compares these across serial/parallel/sharded runs.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        eat(self.count);
+        eat(self.sum_ps as u64);
+        eat((self.sum_ps >> 64) as u64);
+        eat(self.min_ps);
+        eat(self.max_ps);
+        // Trailing zero buckets don't alter the digest, so histograms that
+        // differ only in allocated capacity digest equal.
+        let mut last = self.counts.len();
+        while last > 0 && self.counts[last - 1] == 0 {
+            last -= 1;
+        }
+        for &c in &self.counts[..last] {
+            eat(c);
+        }
+        h
+    }
+}
+
+/// Fixed-width-windowed latency/throughput time series: one
+/// [`LatencyHistogram`] plus op count per window of virtual time.
+///
+/// Samples are windowed by *arrival* time (not completion), so a sample's
+/// window assignment never depends on scheduling — a prerequisite for
+/// byte-identical series across serial and sharded runs. Merging is
+/// per-window elementwise, folded across workers like `opcount`.
+#[derive(Clone, Debug)]
+pub struct LatencySeries {
+    window: SimTime,
+    wins: Vec<LatencyHistogram>,
+}
+
+impl LatencySeries {
+    /// A series with the given window width (> 0).
+    pub fn new(window: SimTime) -> Self {
+        assert!(window > SimTime::ZERO, "window must be positive");
+        LatencySeries { window, wins: Vec::new() }
+    }
+
+    /// Window width.
+    pub fn window(&self) -> SimTime {
+        self.window
+    }
+
+    /// Record a sample that *arrived* at `at` with the given latency.
+    pub fn record(&mut self, at: SimTime, latency: SimTime) {
+        let idx = (at.as_ps() / self.window.as_ps()) as usize;
+        if idx >= self.wins.len() {
+            self.wins.resize_with(idx + 1, LatencyHistogram::new);
+        }
+        self.wins[idx].record(latency);
+    }
+
+    /// Absorb another series (same window width), window by window.
+    pub fn merge(&mut self, other: &LatencySeries) {
+        assert_eq!(self.window, other.window, "window widths must match");
+        if other.wins.len() > self.wins.len() {
+            self.wins.resize_with(other.wins.len(), LatencyHistogram::new);
+        }
+        for (dst, src) in self.wins.iter_mut().zip(other.wins.iter()) {
+            dst.merge(src);
+        }
+    }
+
+    /// Iterate `(window start, histogram)` over non-empty windows.
+    pub fn windows(&self) -> impl Iterator<Item = (SimTime, &LatencyHistogram)> {
+        self.wins
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| !h.is_empty())
+            .map(move |(i, h)| (SimTime::from_ps(i as u64 * self.window.as_ps()), h))
+    }
+
+    /// Fold every window into one histogram.
+    pub fn total(&self) -> LatencyHistogram {
+        let mut all = LatencyHistogram::new();
+        for h in &self.wins {
+            all.merge(h);
+        }
+        all
     }
 }
 
@@ -272,5 +529,120 @@ mod tests {
         assert_eq!(s.y_at(2.0), Some(4.5));
         assert_eq!(s.y_at(3.0), None);
         assert_eq!(s.y_max(), 4.7);
+    }
+
+    #[test]
+    fn histogram_linear_range_is_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..HIST_LINEAR_MAX {
+            h.record_ps(v);
+        }
+        assert_eq!(h.count(), HIST_LINEAR_MAX);
+        assert_eq!(h.min(), Some(SimTime::from_ps(0)));
+        assert_eq!(h.max(), Some(SimTime::from_ps(HIST_LINEAR_MAX - 1)));
+        // Every sub-256 quantile is exact: bucket == value.
+        assert_eq!(h.p50(), Some(SimTime::from_ps(127)));
+        assert_eq!(h.quantile(1.0), Some(SimTime::from_ps(HIST_LINEAR_MAX - 1)));
+    }
+
+    #[test]
+    fn histogram_bucket_round_trip_bounds() {
+        // lower_bound(index(v)) <= v, with relative slack < 1/128.
+        let mut rng = crate::rng::SimRng::new(17);
+        for _ in 0..20_000 {
+            let v = rng.next_u64() >> rng.gen_range(60);
+            let idx = LatencyHistogram::index(v);
+            let lb = LatencyHistogram::lower_bound(idx);
+            assert!(lb <= v, "lb {lb} > v {v}");
+            assert!(v - lb <= lb / 128, "bucket too wide at {v}: lb {lb}");
+            // And lower bounds are themselves fixed points.
+            assert_eq!(LatencyHistogram::index(lb), idx);
+        }
+        // The u64 extremes stay in range.
+        assert!(LatencyHistogram::index(u64::MAX) < 7424);
+    }
+
+    /// Property test (satellite of the traffic-engine PR): the streaming
+    /// histogram's quantiles bracket the exact `Summary` order statistics
+    /// within the documented 1/128 relative error, and the exact moments
+    /// match, under seeded random workloads spanning many octaves.
+    #[test]
+    fn histogram_quantiles_match_summary_oracle() {
+        let mut rng = crate::rng::SimRng::new(0xB0B);
+        for round in 0..20 {
+            let n = 500 + rng.gen_range(3000);
+            let mut h = LatencyHistogram::new();
+            let mut samples = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                // Log-uniform-ish latencies from ps to ~minutes.
+                let v = rng.next_u64() >> (8 + rng.gen_range(48));
+                h.record_ps(v);
+                samples.push(SimTime::from_ps(v));
+            }
+            let s = Summary::from_samples(samples);
+            assert_eq!(h.count(), s.count() as u64, "round {round}");
+            assert_eq!(h.min(), Some(s.min()));
+            assert_eq!(h.max(), Some(s.max()));
+            assert_eq!(h.mean(), Some(s.mean()));
+            for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let exact = s.quantile(q).as_ps();
+                let approx = h.quantile(q).unwrap().as_ps();
+                assert!(approx <= exact, "q={q}: approx {approx} > exact {exact}");
+                assert!(
+                    exact - approx <= approx / 128,
+                    "q={q}: approx {approx} too far below exact {exact}"
+                );
+            }
+            // p999 is the oracle pairing named in the issue.
+            assert!(h.p999().unwrap() <= s.p999());
+        }
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_stream() {
+        let mut rng = crate::rng::SimRng::new(42);
+        let mut whole = LatencyHistogram::new();
+        let mut parts: Vec<LatencyHistogram> = (0..4).map(|_| LatencyHistogram::new()).collect();
+        for i in 0..10_000u64 {
+            let v = rng.next_u64() >> rng.gen_range(56);
+            whole.record_ps(v);
+            parts[(i % 4) as usize].record_ps(v);
+        }
+        let mut folded = LatencyHistogram::new();
+        for p in &parts {
+            folded.merge(p);
+        }
+        assert_eq!(folded.digest(), whole.digest());
+        assert_eq!(folded.count(), whole.count());
+        assert_eq!(folded.p99(), whole.p99());
+        // Digest ignores trailing allocated-but-empty buckets.
+        let mut padded = whole.clone();
+        padded.counts.resize(padded.counts.len() + 64, 0);
+        assert_eq!(padded.digest(), whole.digest());
+    }
+
+    #[test]
+    fn latency_series_windows_by_arrival_and_merges() {
+        let w = SimTime::from_us(10);
+        let mut a = LatencySeries::new(w);
+        let mut b = LatencySeries::new(w);
+        a.record(SimTime::from_us(1), SimTime::from_ns(100));
+        a.record(SimTime::from_us(25), SimTime::from_ns(300));
+        b.record(SimTime::from_us(5), SimTime::from_ns(200));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let wins: Vec<(SimTime, u64)> = ab.windows().map(|(t, h)| (t, h.count())).collect();
+        assert_eq!(wins, vec![(SimTime::ZERO, 2), (SimTime::from_us(20), 1)]);
+        assert_eq!(ab.total().count(), 3);
+        assert_eq!(ab.total().max(), Some(SimTime::from_ns(300)));
+    }
+
+    #[test]
+    fn summary_p999_is_exact_nearest_rank() {
+        let samples: Vec<SimTime> = (1..=10_000).map(SimTime::from_ns).collect();
+        let s = Summary::from_samples(samples);
+        assert_eq!(s.p999(), SimTime::from_ns(9990));
+        assert_eq!(s.p99(), SimTime::from_ns(9900));
+        assert_eq!(s.p50(), SimTime::from_ns(5000));
     }
 }

@@ -1,0 +1,171 @@
+//! Open-loop arrival processes.
+//!
+//! An open-loop generator decides *when* operations arrive independently
+//! of how the system is coping — the defining property that lets queueing
+//! (and therefore tail latency) build as offered load approaches capacity.
+//! Two processes are provided: memoryless Poisson arrivals, and a two-state
+//! Markov-modulated Poisson process (MMPP) whose high/low phases model
+//! bursty traffic at the same average offered load.
+
+use simcore::{SimRng, SimTime};
+
+/// Picoseconds per second over operations per second: 1 MOPS has a mean
+/// inter-arrival gap of exactly 1 µs = 1e6 ps.
+const PS_PER_MOPS: f64 = 1e6;
+
+/// The statistical shape of an arrival stream.
+#[derive(Clone, Copy, Debug)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: exponential inter-arrival gaps at `rate_mops`.
+    Poisson {
+        /// Mean arrival rate in million operations per second.
+        rate_mops: f64,
+    },
+    /// Two-state MMPP: exponentially-dwelling high/low phases, each phase
+    /// itself Poisson. With equal mean dwell the average rate is
+    /// `(rate_hi + rate_lo) / 2`.
+    Mmpp {
+        /// Arrival rate during the high (burst) phase, in MOPS.
+        rate_hi_mops: f64,
+        /// Arrival rate during the low phase, in MOPS.
+        rate_lo_mops: f64,
+        /// Mean dwell time in each phase.
+        mean_dwell: SimTime,
+    },
+}
+
+impl ArrivalProcess {
+    /// A bursty process averaging `rate_mops`: 1.5× the mean rate in
+    /// bursts, 0.5× between bursts, with 200 µs mean phase dwell.
+    pub fn bursty(rate_mops: f64) -> Self {
+        ArrivalProcess::Mmpp {
+            rate_hi_mops: rate_mops * 1.5,
+            rate_lo_mops: rate_mops * 0.5,
+            mean_dwell: SimTime::from_us(200),
+        }
+    }
+}
+
+/// Draws successive inter-arrival gaps for one worker's stream.
+///
+/// Deterministic: the gap sequence is a pure function of the seed RNG.
+/// Gaps are clamped to ≥ 1 ps so simulated time strictly advances.
+#[derive(Clone, Debug)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    rng: SimRng,
+    /// MMPP state: currently in the high phase?
+    hi: bool,
+    /// MMPP state: picoseconds left before the next phase switch.
+    dwell_left: f64,
+}
+
+/// One exponential draw with the given mean (in ps).
+fn exp_ps(rng: &mut SimRng, mean_ps: f64) -> f64 {
+    // gen_f64 is in [0, 1); 1-u is in (0, 1], so ln is finite.
+    -mean_ps * (1.0 - rng.gen_f64()).ln()
+}
+
+impl ArrivalGen {
+    /// A generator over `process` drawing randomness from `rng` (use a
+    /// [`SimRng::split`] stream unique to the worker).
+    pub fn new(process: ArrivalProcess, mut rng: SimRng) -> Self {
+        let dwell_left = match process {
+            ArrivalProcess::Mmpp { mean_dwell, .. } => exp_ps(&mut rng, mean_dwell.as_ps() as f64),
+            ArrivalProcess::Poisson { .. } => 0.0,
+        };
+        ArrivalGen { process, rng, hi: true, dwell_left }
+    }
+
+    /// The gap between the previous arrival and the next one.
+    pub fn next_gap(&mut self) -> SimTime {
+        let gap_ps = match self.process {
+            ArrivalProcess::Poisson { rate_mops } => {
+                debug_assert!(rate_mops > 0.0);
+                exp_ps(&mut self.rng, PS_PER_MOPS / rate_mops)
+            }
+            ArrivalProcess::Mmpp { rate_hi_mops, rate_lo_mops, mean_dwell } => {
+                // Draw in the current phase; if the gap crosses the phase
+                // boundary, advance to the boundary, flip phase, and redraw
+                // (valid by memorylessness of the exponential).
+                let mut elapsed = 0.0f64;
+                loop {
+                    let rate = if self.hi { rate_hi_mops } else { rate_lo_mops };
+                    debug_assert!(rate > 0.0);
+                    let g = exp_ps(&mut self.rng, PS_PER_MOPS / rate);
+                    if g < self.dwell_left {
+                        self.dwell_left -= g;
+                        break elapsed + g;
+                    }
+                    elapsed += self.dwell_left;
+                    self.hi = !self.hi;
+                    self.dwell_left = exp_ps(&mut self.rng, mean_dwell.as_ps() as f64);
+                }
+            }
+        };
+        SimTime::from_ps((gap_ps as u64).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        // 0.5 MOPS => mean gap 2 µs.
+        let mut g = ArrivalGen::new(ArrivalProcess::Poisson { rate_mops: 0.5 }, SimRng::new(7));
+        let n = 200_000u64;
+        let total: u64 = (0..n).map(|_| g.next_gap().as_ps()).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 2e6).abs() < 2e4, "mean gap {mean} ps");
+    }
+
+    #[test]
+    fn mmpp_average_rate_matches_target() {
+        let mut g = ArrivalGen::new(ArrivalProcess::bursty(1.0), SimRng::new(11));
+        let n = 400_000u64;
+        let total: u64 = (0..n).map(|_| g.next_gap().as_ps()).sum();
+        // Average rate 1 MOPS => mean gap ~1 µs. Burstiness inflates the
+        // tolerance (arrivals oversample the high phase), so accept a
+        // generous band around the nominal mean.
+        let mean = total as f64 / n as f64;
+        assert!((0.6e6..1.4e6).contains(&mean), "mean gap {mean} ps");
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        // Compare squared coefficient of variation of per-window counts.
+        fn window_cv2(mut gen: ArrivalGen) -> f64 {
+            let window = SimTime::from_us(100).as_ps();
+            let mut t = 0u64;
+            let mut counts = vec![0u64; 200];
+            while let Some(w) = counts.get_mut((t / window) as usize) {
+                *w += 1;
+                t += gen.next_gap().as_ps();
+            }
+            let n = counts.len() as f64;
+            let mean = counts.iter().sum::<u64>() as f64 / n;
+            let var = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+            var / (mean * mean)
+        }
+        let poisson =
+            window_cv2(ArrivalGen::new(ArrivalProcess::Poisson { rate_mops: 1.0 }, SimRng::new(3)));
+        let mmpp = window_cv2(ArrivalGen::new(ArrivalProcess::bursty(1.0), SimRng::new(3)));
+        assert!(mmpp > poisson * 1.5, "mmpp cv2 {mmpp} poisson cv2 {poisson}");
+    }
+
+    #[test]
+    fn gaps_are_deterministic_and_positive() {
+        let a: Vec<u64> = {
+            let mut g = ArrivalGen::new(ArrivalProcess::bursty(2.0), SimRng::new(42));
+            (0..1000).map(|_| g.next_gap().as_ps()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut g = ArrivalGen::new(ArrivalProcess::bursty(2.0), SimRng::new(42));
+            (0..1000).map(|_| g.next_gap().as_ps()).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&g| g >= 1));
+    }
+}

@@ -1,0 +1,160 @@
+//! Offered-load sweeps and the knee finder.
+//!
+//! A *sweep* runs the same traffic configuration at a list of offered
+//! loads and reports a [`SweepPoint`] per load. The *knee finder* walks
+//! offered load — doubling until the p99 SLO breaks, then bisecting — to
+//! locate the maximum offered load whose p99 stays within the SLO: the
+//! app's serving capacity under a tail-latency contract.
+
+use crate::engine::{run_traffic, TrafficConfig, TrafficReport};
+use simcore::SimTime;
+
+/// Measured outcome at one offered load.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Offered load in MOPS (aggregate across workers).
+    pub offered_mops: f64,
+    /// Achieved completion throughput in MOPS.
+    pub achieved_mops: f64,
+    /// Post-warmup latency samples.
+    pub ops: u64,
+    /// Mean latency, µs.
+    pub mean_us: f64,
+    /// Median latency, µs.
+    pub p50_us: f64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: f64,
+    /// 99.9th-percentile latency, µs.
+    pub p999_us: f64,
+    /// Histogram digest — byte-identity token across run modes.
+    pub digest: u64,
+}
+
+impl SweepPoint {
+    fn from_report(r: &TrafficReport) -> Self {
+        SweepPoint {
+            offered_mops: r.offered_mops,
+            achieved_mops: r.achieved_mops,
+            ops: r.ops,
+            mean_us: r.mean_us(),
+            p50_us: r.q_us(0.5),
+            p99_us: r.q_us(0.99),
+            p999_us: r.q_us(0.999),
+            digest: r.digest(),
+        }
+    }
+}
+
+/// Run `base` at one offered load.
+///
+/// Arrivals inside the warmup window contribute no samples, and at high
+/// load the whole configured op count can land there. The expected
+/// warmup arrivals are added on top of `base.ops_per_worker`, keeping
+/// the post-warmup sample count roughly constant across a sweep.
+pub fn run_point(base: &TrafficConfig, offered_mops: f64) -> SweepPoint {
+    let mut cfg = TrafficConfig { offered_mops, ..base.clone() };
+    let warm_ops = (cfg.rate_per_worker() * cfg.warmup.as_us()).ceil() as u64;
+    cfg.ops_per_worker = base.ops_per_worker + warm_ops;
+    SweepPoint::from_report(&run_traffic(&cfg))
+}
+
+/// Run `base` at each offered load in `loads`, in order.
+pub fn sweep(base: &TrafficConfig, loads: &[f64]) -> Vec<SweepPoint> {
+    loads.iter().map(|&l| run_point(base, l)).collect()
+}
+
+/// The capacity knee of one app variant under a p99 SLO.
+#[derive(Clone, Debug)]
+pub struct Knee {
+    /// Maximum offered load (MOPS) whose p99 met the SLO.
+    pub knee_mops: f64,
+    /// p99 at the knee, µs.
+    pub p99_us_at_knee: f64,
+    /// Achieved throughput at the knee, MOPS.
+    pub achieved_mops: f64,
+    /// Traffic runs spent locating the knee.
+    pub probes: u32,
+    /// The SLO that defined the knee.
+    pub slo: SimTime,
+}
+
+/// Lowest offered load probed (MOPS); below this the knee reads as 0.
+const KNEE_FLOOR: f64 = 0.05;
+/// Offered-load cap (MOPS) in case the SLO never breaks.
+const KNEE_CEIL: f64 = 256.0;
+/// Bisection steps after the bracketing phase — enough for ~0.1% of the
+/// bracket, far below run-to-run quantile noise.
+const KNEE_BISECT: u32 = 10;
+/// Minimum achieved/offered ratio for a probe to count as sustained.
+/// Beyond capacity an open-loop run's backlog grows without bound, and a
+/// finite run's arrival-windowed p99 lags the true steady state — but
+/// goodput falling below offered load exposes the overload immediately.
+/// Unsaturated runs measure ≥ 0.97 here (the meter's ramp/drain edges
+/// cost a couple percent); saturated ones collapse well below 0.95.
+const GOODPUT_FLOOR: f64 = 0.95;
+
+/// Find the maximum offered load whose p99 stays ≤ `slo` while goodput
+/// tracks the offered load (≥ [`GOODPUT_FLOOR`] of it).
+///
+/// Doubles from [`KNEE_FLOOR`] until the SLO breaks (bracketing), then
+/// bisects the bracket. Returns a zero knee when even the floor load
+/// breaks the SLO, and the cap when nothing does.
+pub fn find_knee(base: &TrafficConfig, slo: SimTime) -> Knee {
+    let slo_us = slo.as_us();
+    let mut probes = 0u32;
+    let mut probe = |load: f64| -> SweepPoint {
+        probes += 1;
+        run_point(base, load)
+    };
+    // A probe without a single post-warmup sample cannot demonstrate SLO
+    // compliance, and neither can one whose goodput collapsed below the
+    // offered load; treat both as violations so the bracket stays honest.
+    let meets = |pt: &SweepPoint| {
+        pt.ops > 0 && pt.p99_us <= slo_us && pt.achieved_mops >= GOODPUT_FLOOR * pt.offered_mops
+    };
+
+    // Bracket: double until p99 exceeds the SLO.
+    let mut good: Option<SweepPoint> = None;
+    let mut lo = 0.0f64;
+    let mut hi = KNEE_FLOOR;
+    loop {
+        let pt = probe(hi);
+        if meets(&pt) {
+            lo = hi;
+            good = Some(pt);
+            if hi >= KNEE_CEIL {
+                break;
+            }
+            hi = (hi * 2.0).min(KNEE_CEIL);
+        } else {
+            break;
+        }
+    }
+
+    match good {
+        None => Knee { knee_mops: 0.0, p99_us_at_knee: 0.0, achieved_mops: 0.0, probes, slo },
+        Some(mut best) => {
+            if lo < KNEE_CEIL {
+                // Bisect (lo good, hi bad).
+                let mut hi = hi;
+                for _ in 0..KNEE_BISECT {
+                    let mid = (lo + hi) / 2.0;
+                    let pt = probe(mid);
+                    if meets(&pt) {
+                        lo = mid;
+                        best = pt;
+                    } else {
+                        hi = mid;
+                    }
+                }
+            }
+            Knee {
+                knee_mops: lo,
+                p99_us_at_knee: best.p99_us,
+                achieved_mops: best.achieved_mops,
+                probes,
+                slo,
+            }
+        }
+    }
+}

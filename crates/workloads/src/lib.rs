@@ -22,4 +22,4 @@ pub use join::{
 pub use kv::{value_for, KvOp, KvSpec, KvStream};
 pub use log::{crc32, scan as scan_log, Record, HEADER_BYTES};
 pub use shuffle::{Entry, EntryStream};
-pub use zipf::{fnv64, Zipf};
+pub use zipf::{fnv64, Zipf, ZipfAlias};

@@ -22,6 +22,9 @@ cargo build --benches --release --offline
 echo "== determinism check (serial vs parallel vs unbatched vs sharded) =="
 cargo run --release --offline -p bench -- --check-determinism
 
+echo "== open-loop traffic smoke sweep (4-way determinism, all apps) =="
+cargo run --release --offline -p bench -- --traffic all --load 0.25 --check-determinism
+
 echo "== micro set, sharded (--shards 2) =="
 cargo run --release --offline -p bench -- micro --shards 2 >/dev/null
 
