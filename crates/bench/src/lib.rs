@@ -23,6 +23,7 @@ pub mod lint;
 pub mod micro;
 pub mod openloop;
 pub mod report;
+pub mod txnbench;
 
 pub use appfigs::Scale;
 pub use report::{Experiment, Output};
@@ -140,6 +141,10 @@ pub const ALL_IDS: &[&str] = &[
     "traffic-shuffle",
     "traffic-join",
     "traffic-dlog",
+    "traffic-burst",
+    "traffic-series",
+    "txn-contention",
+    "txn-fairness",
 ];
 
 /// The §III microbenchmark set (the bench wall-clock acceptance target).
@@ -184,6 +189,10 @@ pub fn run_experiment(id: &str, scale: Scale) -> Vec<Experiment> {
         "traffic-shuffle" => openloop::experiment("traffic-shuffle", scale),
         "traffic-join" => openloop::experiment("traffic-join", scale),
         "traffic-dlog" => openloop::experiment("traffic-dlog", scale),
+        "traffic-burst" => txnbench::burst_experiment(scale),
+        "traffic-series" => txnbench::series_experiment(scale),
+        "txn-contention" => txnbench::contention_experiment(scale),
+        "txn-fairness" => txnbench::fairness_experiment(scale),
         other => panic!("unknown experiment id {other:?}; known: {ALL_IDS:?}"),
     }
 }

@@ -53,6 +53,10 @@ pub const ALL: &[&str] = &[
     "traffic-shuffle",
     "traffic-join",
     "traffic-dlog",
+    "traffic-burst",
+    "traffic-series",
+    "txn-contention",
+    "txn-fairness",
 ];
 
 /// Ids whose experiments post no verbs at all (their lint run is
@@ -476,6 +480,38 @@ pub fn programs_for(id: &str) -> Vec<(String, VerbProgram)> {
                 named("optimized", traffic::verb_program(app, true)),
             ]
         }
+        // Burstiness changes *when* verbs are posted, never *which*: the
+        // burst knee table and the windowed series post exactly the app
+        // drivers' shapes, so they lint the same programs.
+        "traffic-burst" => traffic::AppKind::all()
+            .into_iter()
+            .flat_map(|app| {
+                [("basic", false), ("optimized", true)].into_iter().map(move |(l, optimized)| {
+                    (format!("{id}/{}-{l}", app.name()), traffic::verb_program(app, optimized))
+                })
+            })
+            .collect(),
+        "traffic-series" => vec![
+            named("basic", traffic::verb_program(traffic::AppKind::Hashtable, false)),
+            named("optimized", traffic::verb_program(traffic::AppKind::Hashtable, true)),
+        ],
+        // The txn experiments post the transactional protocol's verb
+        // sequences (read/CAS-lock/validate/write/commit-unlock over the
+        // record layout) — the builders mirror the service's geometry.
+        "txn-contention" => vec![
+            named(
+                "optimistic",
+                txn::verb_program(txn::TxnProfile::Hashtable, txn::Concurrency::Optimistic),
+            ),
+            named(
+                "locked",
+                txn::verb_program(txn::TxnProfile::Hashtable, txn::Concurrency::Locked),
+            ),
+        ],
+        "txn-fairness" => vec![named(
+            "optimistic",
+            txn::verb_program(txn::TxnProfile::Hashtable, txn::Concurrency::Optimistic),
+        )],
         other => panic!("unknown experiment id {other:?}; known: {:?}", crate::ALL_IDS),
     }
 }
@@ -747,15 +783,13 @@ mod tests {
                 assert!(!programs_for(id).is_empty(), "{id} has no lint program");
             }
         }
-        // Open-loop traffic experiments post verbs by construction, so a
-        // `traffic-*` id may never hide in NO_TRAFFIC, and its lint entry
-        // must cover both variants (the basic and optimized drivers post
-        // different shapes — single ops vs batched flushes).
-        let traffic_ids: Vec<&str> =
-            crate::ALL_IDS.iter().copied().filter(|id| id.starts_with("traffic-")).collect();
-        assert_eq!(traffic_ids.len(), 4, "expected one traffic id per case-study app");
-        for id in traffic_ids {
-            assert!(!NO_TRAFFIC.contains(&id), "{id} posts verbs; it cannot be NO_TRAFFIC");
+        // Open-loop traffic and txn experiments post verbs by
+        // construction, so none of them may hide in NO_TRAFFIC. The
+        // per-app traffic ids must cover both variants (the basic and
+        // optimized drivers post different shapes — single ops vs
+        // batched flushes).
+        for id in crate::openloop::TRAFFIC_IDS {
+            assert!(!NO_TRAFFIC.contains(id), "{id} posts verbs; it cannot be NO_TRAFFIC");
             let labels: Vec<String> = programs_for(id).into_iter().map(|(l, _)| l).collect();
             for variant in ["basic", "optimized"] {
                 assert!(
@@ -763,6 +797,25 @@ mod tests {
                     "{id} lint entry is missing the {variant} variant (has {labels:?})"
                 );
             }
+        }
+        // The burst knee table spans every app × variant; its lint entry
+        // must too.
+        let burst: Vec<String> =
+            programs_for("traffic-burst").into_iter().map(|(l, _)| l).collect();
+        assert_eq!(burst.len(), 8, "burst knees cover 4 apps x 2 variants (has {burst:?})");
+        // The txn ids must lint the transactional protocol's programs,
+        // and the contention experiment both concurrency modes.
+        for id in crate::txnbench::TXN_IDS {
+            assert!(!NO_TRAFFIC.contains(id), "{id} posts verbs; it cannot be NO_TRAFFIC");
+            assert!(!programs_for(id).is_empty(), "{id} has no lint program");
+        }
+        let contention: Vec<String> =
+            programs_for("txn-contention").into_iter().map(|(l, _)| l).collect();
+        for mode in ["optimistic", "locked"] {
+            assert!(
+                contention.contains(&format!("txn-contention/{mode}")),
+                "txn-contention lint entry is missing the {mode} mode (has {contention:?})"
+            );
         }
     }
 

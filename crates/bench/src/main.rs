@@ -18,6 +18,12 @@
 //! repro --traffic shuffle --load 0.25:4:6    # fixed offered-load sweep
 //! repro --traffic hashtable --load 0.1:0.3:2 --check-determinism
 //!                           # 4-way byte-identity of the traffic engine
+//!
+//! repro --txn all --load knee --apps-json BENCH_txn.json
+//!                           # txn-service capacity knees per profile x mode
+//! repro --txn hashtable --mode locked --load 0.05:0.2:4   # fixed sweep
+//! repro --txn all --load 0.05 --check-determinism
+//!                           # 4-way byte-identity of the txn service
 //! ```
 //!
 //! Experiments are independent deterministic simulations, so the runner
@@ -112,7 +118,10 @@ fn determinism_failed(kind: &str, a: &str, b: &str) -> ! {
 /// in-simulation sharded engine — and require byte-identical rendered
 /// output from all four. Exits non-zero on divergence.
 fn check_determinism(scale: Scale) {
-    let ids = ["table1", "table2", "fig8"];
+    // txn-contention rides along so the transactional service (service
+    // scheduler, abort accounting, tenant telemetry) is inside the same
+    // 4-way byte-identity gate as the core engine.
+    let ids = ["table1", "table2", "fig8", "txn-contention"];
     set_parallelism(Some(1));
     cluster::set_shards_default(Some(1));
     let serial: Vec<GroupRun> = ids.iter().map(|id| run_group(id.to_string(), scale)).collect();
@@ -196,6 +205,24 @@ fn parse_traffic_apps(spec: &str) -> Option<Vec<traffic::AppKind>> {
     traffic::AppKind::parse(spec).map(|a| vec![a])
 }
 
+/// Parse `--txn`: one profile name or `all`.
+fn parse_txn_profiles(spec: &str) -> Option<Vec<txn::TxnProfile>> {
+    if spec == "all" {
+        return Some(txn::TxnProfile::all().to_vec());
+    }
+    txn::TxnProfile::parse(spec).map(|p| vec![p])
+}
+
+/// Parse `--mode`: one concurrency-control mode or `both`.
+fn parse_modes(spec: &str) -> Option<Vec<txn::Concurrency>> {
+    match spec {
+        "both" => Some(vec![txn::Concurrency::Optimistic, txn::Concurrency::Locked]),
+        "optimistic" => Some(vec![txn::Concurrency::Optimistic]),
+        "locked" => Some(vec![txn::Concurrency::Locked]),
+        _ => None,
+    }
+}
+
 /// The traffic engine's own four-way byte-identity gate: the rendered
 /// sweep table (quantiles *and* histogram digests) must be identical
 /// serially, in parallel across points, with the batched device pipeline
@@ -227,6 +254,74 @@ fn check_traffic_determinism(apps: &[traffic::AppKind], loads: &[f64], scale: Sc
          (shards=2) sweep tables identical ({} bytes)",
         serial.len()
     );
+}
+
+/// The txn service's own four-way byte-identity gate: the rendered txn
+/// sweep table (quantiles, abort accounting, *and* digests) must be
+/// identical serially, in parallel across points, with the batched
+/// device pipeline disabled, and on the sharded engine (`shards = 2`).
+/// Exits non-zero on divergence.
+fn check_txn_determinism(
+    profiles: &[txn::TxnProfile],
+    modes: &[txn::Concurrency],
+    loads: &[f64],
+    scale: Scale,
+) {
+    use bench::txnbench::txn_sweep_table;
+    set_parallelism(Some(1));
+    let serial = txn_sweep_table(profiles, modes, loads, scale, 1);
+    set_parallelism(None);
+    let parallel = txn_sweep_table(profiles, modes, loads, scale, 1);
+    if serial != parallel {
+        determinism_failed("txn serial vs parallel", &serial, &parallel);
+    }
+    cluster::set_batched_default(false);
+    set_parallelism(Some(1));
+    let unbatched = txn_sweep_table(profiles, modes, loads, scale, 1);
+    cluster::set_batched_default(true);
+    if serial != unbatched {
+        determinism_failed("txn batched vs unbatched pipeline", &serial, &unbatched);
+    }
+    let sharded = txn_sweep_table(profiles, modes, loads, scale, 2);
+    set_parallelism(None);
+    if serial != sharded {
+        determinism_failed("txn serial vs sharded (shards=2)", &serial, &sharded);
+    }
+    println!(
+        "txn determinism check passed: serial, parallel, unbatched-pipeline, and sharded \
+         (shards=2) sweep tables identical ({} bytes)",
+        serial.len()
+    );
+}
+
+/// `repro --txn`: txn-service knee tables (optionally written in the
+/// bench-apps schema) or fixed offered-load sweeps.
+fn run_txn_mode(
+    profiles: &[txn::TxnProfile],
+    modes: &[txn::Concurrency],
+    load: &LoadSpec,
+    slo_us: Option<f64>,
+    apps_json_path: Option<&PathBuf>,
+    scale: Scale,
+) {
+    match load {
+        LoadSpec::Loads(loads) => {
+            if apps_json_path.is_some() {
+                eprintln!("--apps-json records knee points; use it with --load knee");
+                std::process::exit(2);
+            }
+            print!("{}", bench::txnbench::txn_sweep_table(profiles, modes, loads, scale, 1));
+        }
+        LoadSpec::Knee => {
+            let rows = bench::txnbench::txn_knee_rows(profiles, modes, scale, slo_us);
+            print!("{}", bench::openloop::knee_table(&rows));
+            if let Some(path) = apps_json_path {
+                std::fs::write(path, bench::openloop::apps_json(&rows, scale))
+                    .expect("write apps json");
+                eprintln!("[wrote {}]", path.display());
+            }
+        }
+    }
 }
 
 /// `repro --traffic`: knee tables (optionally written as
@@ -427,6 +522,9 @@ fn main() {
     // `Some(None)` = explicit auto, `Some(Some(n))` = fixed shard count.
     let mut shards_req: Option<Option<usize>> = None;
     let mut traffic_apps: Option<Vec<traffic::AppKind>> = None;
+    let mut txn_profiles: Option<Vec<txn::TxnProfile>> = None;
+    let mut txn_modes: Vec<txn::Concurrency> =
+        vec![txn::Concurrency::Optimistic, txn::Concurrency::Locked];
     let mut load_spec: Option<LoadSpec> = None;
     let mut slo_us: Option<f64> = None;
     let mut apps_json_path: Option<PathBuf> = None;
@@ -442,6 +540,23 @@ fn main() {
                     );
                     std::process::exit(2);
                 }));
+            }
+            "--txn" => {
+                let spec = args.next().unwrap_or_default();
+                txn_profiles = Some(parse_txn_profiles(&spec).unwrap_or_else(|| {
+                    eprintln!(
+                        "--txn needs a profile name ({:?}) or 'all'",
+                        txn::TxnProfile::all().map(|p| p.name())
+                    );
+                    std::process::exit(2);
+                }));
+            }
+            "--mode" => {
+                let spec = args.next().unwrap_or_default();
+                txn_modes = parse_modes(&spec).unwrap_or_else(|| {
+                    eprintln!("--mode needs 'optimistic', 'locked', or 'both' (got {spec:?})");
+                    std::process::exit(2);
+                });
             }
             "--load" => {
                 let spec = args.next().unwrap_or_default();
@@ -532,13 +647,19 @@ fn main() {
                      [--serial | --jobs N] [--shards N|auto] [--bench-json PATH] \
                      [--bench-compare PATH] [--check-determinism] \
                      [--lint [--fix] [--caps PROFILE|FILE|sweep]] \
-                     [--traffic APP|all [--load knee|MOPS|a:b:n] [--slo US] [--apps-json PATH]]"
+                     [--traffic APP|all [--load knee|MOPS|a:b:n] [--slo US] [--apps-json PATH]] \
+                     [--txn PROFILE|all [--mode optimistic|locked|both] [--load ...]]"
                 );
                 println!("ids: {ALL_IDS:?}");
                 println!(
                     "traffic apps: {:?}; --load knee (default) finds each variant's max load \
                      with p99 <= SLO, a:b:n sweeps a fixed grid",
                     traffic::AppKind::all().map(|a| a.name())
+                );
+                println!(
+                    "txn profiles: {:?}; --txn drives the transactional service (optimistic \
+                     reads / lock-based writes over the multi-tenant QP pool)",
+                    txn::TxnProfile::all().map(|p| p.name())
                 );
                 println!(
                     "caps profiles: {:?} (or a `key = value` file; 'sweep' lints every profile)",
@@ -554,9 +675,14 @@ fn main() {
         cluster::set_shards_default(req);
     }
     if traffic_apps.is_none()
+        && txn_profiles.is_none()
         && (load_spec.is_some() || slo_us.is_some() || apps_json_path.is_some())
     {
-        eprintln!("--load/--slo/--apps-json only apply together with --traffic");
+        eprintln!("--load/--slo/--apps-json only apply together with --traffic or --txn");
+        std::process::exit(2);
+    }
+    if traffic_apps.is_some() && txn_profiles.is_some() {
+        eprintln!("--traffic and --txn are separate modes; pick one");
         std::process::exit(2);
     }
     if let Some(apps) = &traffic_apps {
@@ -576,6 +702,25 @@ fn main() {
             return;
         }
         run_traffic_mode(apps, &load, slo_us, apps_json_path.as_ref(), scale);
+        return;
+    }
+    if let Some(profiles) = &txn_profiles {
+        if do_lint || do_fix || compare_path.is_some() || !ids.is_empty() {
+            eprintln!(
+                "--txn runs the transactional service; drop --lint/--fix/--bench-compare/ids"
+            );
+            std::process::exit(2);
+        }
+        let load = load_spec.unwrap_or(LoadSpec::Knee);
+        if do_check {
+            let loads = match &load {
+                LoadSpec::Loads(l) => l.clone(),
+                LoadSpec::Knee => vec![0.05],
+            };
+            check_txn_determinism(profiles, &txn_modes, &loads, scale);
+            return;
+        }
+        run_txn_mode(profiles, &txn_modes, &load, slo_us, apps_json_path.as_ref(), scale);
         return;
     }
     if do_check {

@@ -109,11 +109,15 @@ pub fn experiment(id: &'static str, scale: Scale) -> Vec<Experiment> {
 }
 
 /// One row of the knee table: app, variant, and its capacity knee.
+///
+/// Rows are string-keyed so the table covers both the raw case-study
+/// apps (`variant` is `basic`/`optimized`) and the transactional service
+/// (`app` is `txn-<profile>`, `variant` names the concurrency mode).
 pub struct KneeRow {
-    /// Which case-study app.
-    pub app: AppKind,
-    /// `true` for the paper's optimized variant.
-    pub optimized: bool,
+    /// App (or `txn-<profile>`) behind the row.
+    pub app: String,
+    /// Variant label: `basic`/`optimized`, or a concurrency mode.
+    pub variant: String,
     /// The knee located by [`find_knee`].
     pub knee: Knee,
 }
@@ -133,7 +137,11 @@ pub fn knee_rows(apps: &[AppKind], scale: Scale, slo_us: Option<f64>) -> Vec<Kne
             None => app.default_slo(),
         };
         let cfg = TrafficConfig { optimized, ..base_cfg(app, scale) };
-        KneeRow { app, optimized, knee: find_knee(&cfg, slo) }
+        KneeRow {
+            app: app.name().into(),
+            variant: if optimized { "optimized" } else { "basic" }.into(),
+            knee: find_knee(&cfg, slo),
+        }
     })
 }
 
@@ -143,15 +151,15 @@ pub fn knee_table(rows: &[KneeRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<10} {:<9} {:>8} {:>12} {:>12} {:>14} {:>7}",
+        "{:<14} {:<10} {:>8} {:>12} {:>12} {:>14} {:>7}",
         "app", "variant", "slo(us)", "knee(MOPS)", "p99@knee", "achieved(MOPS)", "probes"
     );
     for r in rows {
         let _ = writeln!(
             out,
-            "{:<10} {:<9} {:>8.1} {:>12.4} {:>12.3} {:>14.4} {:>7}",
-            r.app.name(),
-            if r.optimized { "optimized" } else { "basic" },
+            "{:<14} {:<10} {:>8.1} {:>12.4} {:>12.3} {:>14.4} {:>7}",
+            r.app,
+            r.variant,
             r.knee.slo.as_us(),
             r.knee.knee_mops,
             r.knee.p99_us_at_knee,
@@ -174,8 +182,8 @@ pub fn apps_json(rows: &[KneeRow], scale: Scale) -> String {
             "    {{\"app\": \"{}\", \"variant\": \"{}\", \"slo_us\": {:.3}, \
              \"knee_mops\": {:.4}, \"p99_us_at_knee\": {:.3}, \"achieved_mops\": {:.4}, \
              \"probes\": {}}}{}\n",
-            r.app.name(),
-            if r.optimized { "optimized" } else { "basic" },
+            r.app,
+            r.variant,
             r.knee.slo.as_us(),
             r.knee.knee_mops,
             r.knee.p99_us_at_knee,
@@ -252,8 +260,8 @@ mod tests {
         // Synthetic rows — shape only; real knees are exercised by the
         // traffic crate's tests and the committed BENCH_apps.json.
         let rows = vec![KneeRow {
-            app: AppKind::Shuffle,
-            optimized: true,
+            app: "shuffle".into(),
+            variant: "optimized".into(),
             knee: traffic::Knee {
                 knee_mops: 1.5,
                 p99_us_at_knee: 9.25,

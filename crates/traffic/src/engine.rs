@@ -264,6 +264,14 @@ impl cluster::Client for OpenLoopWorker {
 pub struct TrafficReport {
     /// The offered load that was requested.
     pub offered_mops: f64,
+    /// Arrival rate the run actually realized: post-warmup arrivals over
+    /// the post-warmup arrival span — the same window the completion
+    /// meter observes, so the two rates are comparable point for point.
+    /// Matches `offered_mops` in expectation, but a finite bursty (MMPP)
+    /// run's phase luck shifts it by several percent either way —
+    /// capacity judgements should compare achieved throughput against
+    /// this, not the nominal rate.
+    pub realized_mops: f64,
     /// Throughput actually achieved (completions over the observed span).
     pub achieved_mops: f64,
     /// Post-warmup samples in the histogram.
@@ -315,8 +323,13 @@ pub fn run_traffic(cfg: &TrafficConfig) -> TrafficReport {
         meter.merge(&w.stats.meter);
         finished = finished.max(w.next_at);
     }
+    // Every post-warmup arrival yields exactly one histogram sample, so
+    // the histogram count over the post-warmup arrival span *is* the
+    // realized arrival rate, measured over the meter's own window.
+    let realized = simcore::mops(hist.count(), finished.saturating_sub(cfg.warmup));
     TrafficReport {
         offered_mops: cfg.offered_mops,
+        realized_mops: realized,
         achieved_mops: meter.mops(),
         ops: hist.count(),
         hist,

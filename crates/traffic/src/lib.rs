@@ -41,8 +41,12 @@ pub mod apps;
 pub mod arrivals;
 pub mod engine;
 pub mod sweep;
+pub mod txn;
 
 pub use apps::verb_program;
 pub use arrivals::{ArrivalGen, ArrivalProcess};
 pub use engine::{run_traffic, AppKind, TrafficConfig, TrafficReport};
-pub use sweep::{find_knee, run_point, sweep, Knee, SweepPoint};
+pub use sweep::{find_knee, find_knee_with, run_point, sweep, Knee, SweepPoint};
+pub use txn::{
+    find_txn_knee, run_txn_at, run_txn_point, run_txn_traffic, TxnReport, TxnTrafficConfig,
+};

@@ -1,0 +1,260 @@
+//! Analyzable verb programs for the txn access patterns — what
+//! `bench --lint` feeds through `verbcheck` for the txn experiments.
+//!
+//! Each program mirrors the service geometry: machine 0 is the service
+//! client with one staging window per QP slot, machine 1 serves the
+//! record table. Two concurrent slots run one transaction each so the
+//! byte-precise race rules actually see cross-QP traffic:
+//!
+//! * disjoint-record transactions (hashtable/shuffle/join shapes) must
+//!   come out clean — records are disjoint byte ranges and each slot's
+//!   staging window is private;
+//! * the shared-tail shape (dlog) serializes both transactions on one QP
+//!   slot, exactly like a one-slot service would — lock-protocol writes
+//!   to one record from concurrent QPs are *not* statically orderable,
+//!   and the service's slot discipline is what makes them safe.
+//!
+//! Every CAS targets a `16 + value_len`-strided lock word with an 8-byte
+//! result SGE, so the programs are the E002 conformance fixtures for the
+//! protocol's layout, and per-post polling keeps every write-write pair
+//! in distinct poll windows (E005-clean by construction).
+
+use crate::protocol::{staging_window, Concurrency};
+use crate::table::TxnTable;
+use crate::workload::TxnProfile;
+use rnicsim::{MrId, QpNum, Sge, VerbKind, WorkRequest, WrId};
+use verbcheck::VerbProgram;
+
+/// Records in the lint-fixture table.
+const RECORDS: u64 = 64;
+/// Value bytes per record in the lint fixture.
+const VALUE_LEN: u64 = 32;
+/// Read-buffer capacity per slot window.
+const CAP_READS: usize = 2;
+
+struct Slot<'a> {
+    p: &'a mut VerbProgram,
+    qp: QpNum,
+    staging: MrId,
+    base: u64,
+    table: TxnTable,
+    wr: u64,
+}
+
+impl Slot<'_> {
+    fn read_buf(&self, i: u64) -> u64 {
+        self.base + i * self.table.stride()
+    }
+
+    fn scratch(&self) -> u64 {
+        self.base + CAP_READS as u64 * self.table.stride()
+    }
+
+    fn commit_image(&self) -> u64 {
+        self.scratch() + 8
+    }
+
+    fn value_build(&self) -> u64 {
+        self.commit_image() + 16
+    }
+
+    fn next_wr(&mut self) -> u64 {
+        self.wr += 1;
+        self.wr
+    }
+
+    fn read_record(&mut self, i: u64, rec: u64) {
+        let wr = WorkRequest::read(
+            self.next_wr(),
+            Sge::new(self.staging, self.read_buf(i), self.table.stride()),
+            self.table.rkey,
+            self.table.lock_off(rec),
+        );
+        self.p.post(self.qp, wr);
+        self.p.poll(self.qp, 1);
+    }
+
+    fn cas_lock(&mut self, rec: u64) {
+        let wr = WorkRequest {
+            wr_id: WrId(self.next_wr()),
+            kind: VerbKind::CompareSwap { expected: 0, desired: 1 },
+            sgl: Sge::new(self.staging, self.scratch(), 8).into(),
+            remote: Some((self.table.rkey, self.table.lock_off(rec))),
+            signaled: true,
+        };
+        self.p.post(self.qp, wr);
+        self.p.poll(self.qp, 1);
+    }
+
+    fn validate(&mut self, rec: u64) {
+        let wr = WorkRequest::read(
+            self.next_wr(),
+            Sge::new(self.staging, self.scratch(), 8),
+            self.table.rkey,
+            self.table.version_off(rec),
+        );
+        self.p.post(self.qp, wr);
+        self.p.poll(self.qp, 1);
+    }
+
+    fn write_value(&mut self, rec: u64) {
+        let wr = WorkRequest::write(
+            self.next_wr(),
+            Sge::new(self.staging, self.value_build(), VALUE_LEN),
+            self.table.rkey,
+            self.table.value_off(rec),
+        );
+        self.p.post(self.qp, wr);
+        self.p.poll(self.qp, 1);
+    }
+
+    fn commit_unlock(&mut self, rec: u64) {
+        let wr = WorkRequest::write(
+            self.next_wr(),
+            Sge::new(self.staging, self.commit_image(), 16),
+            self.table.rkey,
+            self.table.lock_off(rec),
+        );
+        self.p.post(self.qp, wr);
+        self.p.poll(self.qp, 1);
+    }
+
+    /// One full transaction in program order.
+    fn txn(&mut self, concurrency: Concurrency, reads: &[u64], writes: &[u64]) {
+        match concurrency {
+            Concurrency::Optimistic => {
+                for (i, &rec) in reads.iter().enumerate() {
+                    self.read_record(i as u64, rec);
+                }
+                for &rec in writes {
+                    self.cas_lock(rec);
+                }
+                for &rec in reads.iter().chain(writes.iter().filter(|r| !reads.contains(r))) {
+                    self.validate(rec);
+                }
+                for &rec in writes {
+                    self.write_value(rec);
+                }
+                for &rec in writes {
+                    self.commit_unlock(rec);
+                }
+            }
+            Concurrency::Locked => {
+                for &rec in writes {
+                    self.cas_lock(rec);
+                }
+                for (i, &rec) in writes.iter().enumerate() {
+                    // Read version+value under the lock.
+                    let wr = WorkRequest::read(
+                        self.next_wr(),
+                        Sge::new(self.staging, self.read_buf(i as u64), 8 + VALUE_LEN),
+                        self.table.rkey,
+                        self.table.version_off(rec),
+                    );
+                    self.p.post(self.qp, wr);
+                    self.p.poll(self.qp, 1);
+                }
+                if writes.is_empty() {
+                    for (i, &rec) in reads.iter().enumerate() {
+                        self.read_record(i as u64, rec);
+                    }
+                    for &rec in reads {
+                        self.validate(rec);
+                    }
+                }
+                for &rec in writes {
+                    self.write_value(rec);
+                }
+                for &rec in writes {
+                    self.commit_unlock(rec);
+                }
+            }
+        }
+    }
+}
+
+/// The analyzable verb program for one txn profile under one
+/// concurrency-control mode: two transactions on two QP slots (one slot
+/// for the shared-tail shape), full protocol, per-post polling.
+pub fn verb_program(profile: TxnProfile, concurrency: Concurrency) -> VerbProgram {
+    let table_mr = MrId(0);
+    let table = TxnTable::new(table_mr, 0, RECORDS, VALUE_LEN);
+    let staging = MrId(0);
+    let window = staging_window(CAP_READS, table.stride());
+    let mut p = VerbProgram::new();
+    p.mr(1, table_mr, 0, table.footprint());
+    p.mr(0, staging, 0, 2 * window);
+    let (qp0, qp1) = (QpNum(0), QpNum(1));
+    p.qp(qp0, 0, 1, 0, 0);
+    let shared_tail = profile == TxnProfile::Dlog;
+    if !shared_tail {
+        // The pool is NUMA-affine: every slot's QP sits on the socket that
+        // owns the staging and table regions (W204-clean).
+        p.qp(qp1, 0, 1, 0, 0);
+    }
+    // (reads, writes) per slot, disjoint records across slots except for
+    // the shared tail.
+    let shapes: [(&[u64], &[u64]); 2] = match profile {
+        TxnProfile::Hashtable => [(&[2][..], &[2][..]), (&[3][..], &[][..])],
+        TxnProfile::Shuffle => [(&[][..], &[2][..]), (&[][..], &[3][..])],
+        TxnProfile::Join => [(&[2, 5][..], &[][..]), (&[3, 6][..], &[][..])],
+        TxnProfile::Dlog => [(&[0][..], &[0][..]), (&[0][..], &[0][..])],
+    };
+    for (s, (reads, writes)) in shapes.into_iter().enumerate() {
+        let qp = if s == 0 || shared_tail { qp0 } else { qp1 };
+        let base = if shared_tail { 0 } else { s as u64 * window };
+        let mut slot = Slot { p: &mut p, qp, staging, base, table, wr: 0 };
+        slot.txn(concurrency, reads, writes);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnicsim::DeviceCaps;
+    use verbcheck::analyze;
+
+    #[test]
+    fn all_txn_programs_lint_clean() {
+        for profile in TxnProfile::all() {
+            for concurrency in [Concurrency::Optimistic, Concurrency::Locked] {
+                let p = verb_program(profile, concurrency);
+                let diags = analyze(&p, &DeviceCaps::default());
+                assert!(
+                    diags.is_empty(),
+                    "{}/{} not clean: {:?}",
+                    profile.name(),
+                    concurrency.name(),
+                    diags.iter().map(|d| (d.code, d.message.clone())).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn misaligned_table_base_would_trip_e002() {
+        // Counter-fixture: shift the lock word off 8-byte alignment and
+        // the CAS must draw E002 — proves the layout assert and the lint
+        // guard the same invariant.
+        let mut p = VerbProgram::new();
+        let (table_mr, staging) = (MrId(0), MrId(0));
+        p.mr(1, table_mr, 0, 4096);
+        p.mr(0, staging, 0, 4096);
+        let qp = QpNum(0);
+        p.qp(qp, 0, 1, 0, 0);
+        p.post(
+            qp,
+            WorkRequest {
+                wr_id: WrId(1),
+                kind: VerbKind::CompareSwap { expected: 0, desired: 1 },
+                sgl: Sge::new(staging, 0, 8).into(),
+                remote: Some((rnicsim::RKey(0), 4)),
+                signaled: true,
+            },
+        );
+        p.poll(qp, 1);
+        let diags = analyze(&p, &DeviceCaps::default());
+        assert!(diags.iter().any(|d| d.code == verbcheck::Code::E002));
+    }
+}

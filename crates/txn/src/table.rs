@@ -1,0 +1,130 @@
+//! Remote layout of a transactional record table.
+//!
+//! One table is a dense array of fixed-size records in a single remote
+//! region. Each record carries its own concurrency-control words inline,
+//! so every protocol step is one one-sided verb against one record:
+//!
+//! ```text
+//! record i at base + i * stride:
+//! [ lock: u64 ][ version: u64 ][ value: value_len bytes ]
+//! ```
+//!
+//! * `lock` — a spinlock word driven by RDMA CAS(0→1); release is a
+//!   16-byte write that clears the lock and bumps the version in one verb.
+//! * `version` — bumped by exactly 1 per committed write; optimistic
+//!   readers validate against it (Storm-style version-validated reads).
+//! * `value` — the payload; the torture tests keep a `u64` counter in its
+//!   first 8 bytes so serial-reference equivalence is order-independent.
+//!
+//! `stride` is `16 + value_len` and `value_len` must be a multiple of 8,
+//! so every lock word stays 8-byte aligned (the E002 atomics rule).
+
+use cluster::Testbed;
+use rnicsim::{MrId, RKey};
+
+/// Byte offset of the version word inside a record.
+pub const VERSION_OFF: u64 = 8;
+/// Byte offset of the value inside a record (also the header size).
+pub const VALUE_OFF: u64 = 16;
+
+/// A transactional record id (index into the table).
+pub type RecId = u64;
+
+/// A dense table of lock+version+value records in one remote region.
+#[derive(Clone, Copy, Debug)]
+pub struct TxnTable {
+    /// Remote region holding the table.
+    pub rkey: RKey,
+    /// Byte offset of record 0 (must be 8-byte aligned).
+    pub base: u64,
+    /// Number of records.
+    pub records: u64,
+    /// Payload bytes per record (multiple of 8).
+    pub value_len: u64,
+}
+
+impl TxnTable {
+    /// A table over the region `mr` serves (rkey = mr id, the testbed's
+    /// convention), starting at `base`.
+    pub fn new(mr: MrId, base: u64, records: u64, value_len: u64) -> Self {
+        assert_eq!(base % 8, 0, "table base must be 8-byte aligned");
+        assert_eq!(value_len % 8, 0, "value length must be a multiple of 8");
+        TxnTable { rkey: RKey(mr.0 as u64), base, records, value_len }
+    }
+
+    /// Bytes one record occupies (header + value).
+    pub fn stride(&self) -> u64 {
+        VALUE_OFF + self.value_len
+    }
+
+    /// Total remote bytes the table occupies.
+    pub fn footprint(&self) -> u64 {
+        self.records * self.stride()
+    }
+
+    /// Byte offset of record `rec`'s lock word.
+    pub fn lock_off(&self, rec: RecId) -> u64 {
+        debug_assert!(rec < self.records, "record {rec} out of range");
+        self.base + rec * self.stride()
+    }
+
+    /// Byte offset of record `rec`'s version word.
+    pub fn version_off(&self, rec: RecId) -> u64 {
+        self.lock_off(rec) + VERSION_OFF
+    }
+
+    /// Byte offset of record `rec`'s value.
+    pub fn value_off(&self, rec: RecId) -> u64 {
+        self.lock_off(rec) + VALUE_OFF
+    }
+
+    /// Read record `rec`'s committed state directly from simulated server
+    /// memory (test oracle — not a verb; real clients must go through the
+    /// protocol).
+    pub fn peek(&self, tb: &Testbed, machine: usize, rec: RecId) -> RecordState {
+        let mr = MrId(self.rkey.0 as u32);
+        let mem = &tb.machine(machine).mem;
+        RecordState {
+            lock: mem.load_u64(mr, self.lock_off(rec)),
+            version: mem.load_u64(mr, self.version_off(rec)),
+            counter: mem.load_u64(mr, self.value_off(rec)),
+        }
+    }
+}
+
+/// A record's raw header state plus its leading value counter, as read by
+/// [`TxnTable::peek`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecordState {
+    /// Lock word (0 = free).
+    pub lock: u64,
+    /// Commit count.
+    pub version: u64,
+    /// First 8 value bytes interpreted as a little-endian counter.
+    pub counter: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_aligned_and_disjoint() {
+        let t = TxnTable::new(MrId(3), 64, 100, 48);
+        assert_eq!(t.stride(), 64);
+        assert_eq!(t.footprint(), 6400);
+        assert_eq!(t.lock_off(0), 64);
+        assert_eq!(t.version_off(0), 72);
+        assert_eq!(t.value_off(0), 80);
+        assert_eq!(t.lock_off(5), 64 + 5 * 64);
+        for r in 0..100 {
+            assert_eq!(t.lock_off(r) % 8, 0, "lock word must stay atomic-aligned");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn unaligned_value_len_rejected() {
+        TxnTable::new(MrId(0), 0, 1, 12);
+    }
+}

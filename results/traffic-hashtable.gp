@@ -1,0 +1,10 @@
+# gnuplot script for traffic-hashtable — open-loop load sweep — hashtable (tail latency and goodput vs offered load)
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'traffic-hashtable.svg'
+set datafile missing '-'
+set title "open-loop load sweep — hashtable (tail latency and goodput vs offered load)" noenhanced
+set xlabel "offered(MOPS)" noenhanced
+set ylabel "p99(us) / achieved(MOPS)" noenhanced
+set key outside right noenhanced
+set grid
+plot 'traffic-hashtable.dat' using 1:2 title "basic p99(us)" with linespoints, 'traffic-hashtable.dat' using 1:3 title "basic achieved(MOPS)" with linespoints, 'traffic-hashtable.dat' using 1:4 title "optimized p99(us)" with linespoints, 'traffic-hashtable.dat' using 1:5 title "optimized achieved(MOPS)" with linespoints

@@ -1,0 +1,10 @@
+# gnuplot script for traffic-series — windowed tail dynamics — p99 and goodput over time under MMPP bursts
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'traffic-series.svg'
+set datafile missing '-'
+set title "windowed tail dynamics — p99 and goodput over time under MMPP bursts" noenhanced
+set xlabel "window(us)" noenhanced
+set ylabel "p99(us) / MOPS" noenhanced
+set key outside right noenhanced
+set grid
+plot 'traffic-series.dat' using 1:2 title "basic p99(us)" with linespoints, 'traffic-series.dat' using 1:3 title "basic goodput(MOPS)" with linespoints, 'traffic-series.dat' using 1:4 title "optimized p99(us)" with linespoints, 'traffic-series.dat' using 1:5 title "optimized goodput(MOPS)" with linespoints

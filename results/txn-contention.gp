@@ -1,0 +1,10 @@
+# gnuplot script for txn-contention — transactional service — tail latency and abort ratio vs conflict rate
+set terminal svg size 860,520 dynamic background '#ffffff'
+set output 'txn-contention.svg'
+set datafile missing '-'
+set title "transactional service — tail latency and abort ratio vs conflict rate" noenhanced
+set xlabel "conflict" noenhanced
+set ylabel "p99(us) / abort-ratio" noenhanced
+set key outside right noenhanced
+set grid
+plot 'txn-contention.dat' using 1:2 title "optimistic p99(us)" with linespoints, 'txn-contention.dat' using 1:3 title "optimistic abort-ratio" with linespoints, 'txn-contention.dat' using 1:4 title "locked p99(us)" with linespoints, 'txn-contention.dat' using 1:5 title "locked abort-ratio" with linespoints

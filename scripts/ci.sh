@@ -25,6 +25,9 @@ cargo run --release --offline -p bench -- --check-determinism
 echo "== open-loop traffic smoke sweep (4-way determinism, all apps) =="
 cargo run --release --offline -p bench -- --traffic all --load 0.25 --check-determinism
 
+echo "== txn smoke sweep (4-way determinism, all profiles, both modes) =="
+cargo run --release --offline -p bench -- --txn all --load 0.05 --check-determinism
+
 echo "== micro set, sharded (--shards 2) =="
 cargo run --release --offline -p bench -- micro --shards 2 >/dev/null
 
