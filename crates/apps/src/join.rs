@@ -173,8 +173,9 @@ impl PartitionExecutor {
                     let mut t = now;
                     let mut cursor = off;
                     for sge in &bufs {
-                        let data = tb.machine(self.machine).mem.read(sge.mr, sge.offset, sge.len);
-                        tb.machine_mut(self.machine).mem.write(region, cursor, &data);
+                        tb.machine_mut(self.machine)
+                            .mem
+                            .copy_within(sge.mr, sge.offset, region, cursor, sge.len);
                         cursor += sge.len;
                         t += tb.cfg.host.memcpy_cost(sge.len as usize) + tb.cfg.host.l1_touch;
                     }

@@ -151,9 +151,8 @@ impl Executor {
                 // consumer's region.
                 let mut t = now;
                 for sge in &bufs {
-                    let data = tb.machine(self.machine).mem.read(sge.mr, sge.offset, sge.len);
                     let (r, o) = self.slabs[dest];
-                    tb.machine_mut(self.machine).mem.write(r, o, &data);
+                    tb.machine_mut(self.machine).mem.copy_within(sge.mr, sge.offset, r, o, sge.len);
                     self.slabs[dest].1 += sge.len;
                     t += tb.cfg.host.memcpy_cost(sge.len as usize) + tb.cfg.host.l1_touch;
                 }

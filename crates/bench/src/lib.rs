@@ -133,6 +133,7 @@ pub const ALL_IDS: &[&str] = &[
     "extra-reg-cost",
     "extra-ycsb",
     "fig6-xl",
+    "fig6-xxl",
     "ablate-occupancy",
     "ablate-mtt",
     "ablate-backoff",
@@ -181,6 +182,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Vec<Experiment> {
         "extra-reg-cost" => micro::extra_reg_cost(),
         "extra-ycsb" => appfigs::extra_ycsb(),
         "fig6-xl" => micro::fig6_xl(scale),
+        "fig6-xxl" => micro::fig6_xxl(scale),
         "ablate-occupancy" => ablate::ablate_occupancy(),
         "ablate-mtt" => ablate::ablate_mtt_capacity(),
         "ablate-backoff" => ablate::ablate_backoff(),

@@ -45,6 +45,7 @@ pub const ALL: &[&str] = &[
     "extra-reg-cost",
     "extra-ycsb",
     "fig6-xl",
+    "fig6-xxl",
     "ablate-occupancy",
     "ablate-mtt",
     "ablate-backoff",
@@ -398,9 +399,13 @@ pub fn programs_for(id: &str) -> Vec<(String, VerbProgram)> {
             strategy_programs(32, 32).into_iter().map(|(l, p)| (format!("{id}/{l}"), p)).collect()
         }
         "fig6" => vec![named("seq", fig6_program(true)), named("rand", fig6_program(false))],
-        // fig6-xl replicates the fig6 posting pattern across many machine
-        // pairs; per-pair verb programs are identical, so lint the pattern.
-        "fig6-xl" => vec![named("seq", fig6_program(true)), named("rand", fig6_program(false))],
+        // fig6-xl and fig6-xxl replicate the fig6 posting pattern across
+        // many machine pairs (fig6-xxl additionally fans each pair out
+        // over many QPs); per-pair verb programs are identical, so lint
+        // the pattern once.
+        "fig6-xl" | "fig6-xxl" => {
+            vec![named("seq", fig6_program(true)), named("rand", fig6_program(false))]
+        }
         "fig8" => vec![
             named("native", fig8_native_program()),
             named("consolidated-theta16", fig8_consolidated_program()),

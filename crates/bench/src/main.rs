@@ -34,8 +34,50 @@
 //! `cd results && gnuplot *.gp` renders the figures to SVG.
 
 use bench::{par_map, run_experiment, set_parallelism, Experiment, Scale, ALL_IDS, MICRO_IDS};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Live heap bytes right now, maintained by [`PeakAlloc`].
+static HEAP_CURRENT: AtomicU64 = AtomicU64::new(0);
+/// Process-wide high-water mark of live heap bytes. Monotone: fleet-scale
+/// experiments (fig6-xxl's 2048-machine sparse pool) must keep this far
+/// below the dense-equivalent registration, and `bench-engine-v3` records
+/// it per experiment so regressions in memory footprint show up in
+/// `--bench-compare` like wall-clock regressions do.
+static HEAP_PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// Accounting wrapper around the system allocator: tracks net live bytes
+/// and their high-water mark. The two relaxed atomics cost nanoseconds
+/// per allocation — noise against the simulations being measured.
+struct PeakAlloc;
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let now =
+            HEAP_CURRENT.fetch_add(layout.size() as u64, Ordering::Relaxed) + layout.size() as u64;
+        HEAP_PEAK.fetch_max(now, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        HEAP_CURRENT.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size > layout.size() {
+            let grow = (new_size - layout.size()) as u64;
+            let now = HEAP_CURRENT.fetch_add(grow, Ordering::Relaxed) + grow;
+            HEAP_PEAK.fetch_max(now, Ordering::Relaxed);
+        } else {
+            HEAP_CURRENT.fetch_sub((layout.size() - new_size) as u64, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: PeakAlloc = PeakAlloc;
 
 /// One experiment group's outcome: what to print/save plus how much work
 /// the simulation did (for the machine-readable timing report).
@@ -44,6 +86,11 @@ struct GroupRun {
     experiments: Vec<Experiment>,
     wall_ms: f64,
     sim_ops: u64,
+    /// Process heap high-water mark (bytes) observed by the end of this
+    /// group. The mark is monotone over the process, so under parallel
+    /// execution concurrent groups share it; recorded per experiment it
+    /// bounds each experiment's footprint from above.
+    peak_alloc_bytes: u64,
 }
 
 fn run_group(id: String, scale: Scale) -> GroupRun {
@@ -52,7 +99,8 @@ fn run_group(id: String, scale: Scale) -> GroupRun {
     let experiments = run_experiment(&id, scale);
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let sim_ops = simcore::opcount::current() - ops_before;
-    GroupRun { id, experiments, wall_ms, sim_ops }
+    let peak_alloc_bytes = HEAP_PEAK.load(Ordering::Relaxed);
+    GroupRun { id, experiments, wall_ms, sim_ops, peak_alloc_bytes }
 }
 
 /// Render every experiment of a run list to one string (the unit of the
@@ -70,22 +118,24 @@ fn render_all(runs: &[GroupRun]) -> String {
 
 /// Hand-rolled JSON (the container is offline; no serde): per-experiment
 /// wall-clock and simulated-operation throughput plus the total. Schema
-/// v2 records the in-simulation shard count alongside the worker count;
-/// `parse_baseline`'s field scanner ignores unknown keys, so v1 baselines
-/// stay comparable.
+/// v3 adds `peak_alloc_bytes` — the process heap high-water mark by the
+/// end of each experiment (and overall), so memory-footprint regressions
+/// are tracked alongside wall-clock ones. `parse_baseline`'s field
+/// scanner ignores unknown keys, so v1/v2 baselines stay comparable.
 fn bench_json(runs: &[GroupRun], total_wall_ms: f64, jobs: usize, shards: usize) -> String {
-    let mut s = String::from("{\n  \"schema\": \"bench-engine-v2\",\n");
+    let mut s = String::from("{\n  \"schema\": \"bench-engine-v3\",\n");
     s.push_str(&format!("  \"jobs\": {jobs},\n"));
     s.push_str(&format!("  \"shards\": {shards},\n"));
     s.push_str("  \"experiments\": [\n");
     for (i, r) in runs.iter().enumerate() {
         let per_sec = if r.wall_ms > 0.0 { r.sim_ops as f64 / (r.wall_ms / 1e3) } else { 0.0 };
         s.push_str(&format!(
-            "    {{\"id\": \"{}\", \"wall_ms\": {:.3}, \"sim_ops\": {}, \"sim_ops_per_sec\": {:.0}, \"shards\": {}}}{}\n",
+            "    {{\"id\": \"{}\", \"wall_ms\": {:.3}, \"sim_ops\": {}, \"sim_ops_per_sec\": {:.0}, \"peak_alloc_bytes\": {}, \"shards\": {}}}{}\n",
             r.id,
             r.wall_ms,
             r.sim_ops,
             per_sec,
+            r.peak_alloc_bytes,
             shards,
             if i + 1 < runs.len() { "," } else { "" }
         ));
@@ -96,7 +146,8 @@ fn bench_json(runs: &[GroupRun], total_wall_ms: f64, jobs: usize, shards: usize)
     s.push_str("  ],\n");
     s.push_str(&format!("  \"total_wall_ms\": {total_wall_ms:.3},\n"));
     s.push_str(&format!("  \"total_sim_ops\": {total_ops},\n"));
-    s.push_str(&format!("  \"total_sim_ops_per_sec\": {total_per_sec:.0}\n"));
+    s.push_str(&format!("  \"total_sim_ops_per_sec\": {total_per_sec:.0},\n"));
+    s.push_str(&format!("  \"total_peak_alloc_bytes\": {}\n", HEAP_PEAK.load(Ordering::Relaxed)));
     s.push_str("}\n");
     s
 }
@@ -120,8 +171,12 @@ fn determinism_failed(kind: &str, a: &str, b: &str) -> ! {
 fn check_determinism(scale: Scale) {
     // txn-contention rides along so the transactional service (service
     // scheduler, abort accounting, tenant telemetry) is inside the same
-    // 4-way byte-identity gate as the core engine.
-    let ids = ["table1", "table2", "fig8", "txn-contention"];
+    // 4-way byte-identity gate as the core engine. fig6-xxl's notes carry
+    // the fleet memory digest (placement + content of every materialized
+    // sparse page), so the gate pins the memory subsystem too: an elision
+    // or materialization decision that differs between the batched,
+    // unbatched, parallel, or sharded paths diverges the rendered output.
+    let ids = ["table1", "table2", "fig8", "fig6-xxl", "txn-contention"];
     set_parallelism(Some(1));
     cluster::set_shards_default(Some(1));
     let serial: Vec<GroupRun> = ids.iter().map(|id| run_group(id.to_string(), scale)).collect();
@@ -358,11 +413,15 @@ struct BaselineRow {
     id: String,
     wall_ms: f64,
     sim_ops: u64,
+    /// `None` for v1/v2 baselines recorded before the field existed.
+    peak_alloc_bytes: Option<u64>,
 }
 
-/// Parse the hand-rolled `bench-engine-v1` JSON (the inverse of
+/// Parse the hand-rolled bench-engine JSON (the inverse of
 /// [`bench_json`]; still no serde in the offline container). Only the
-/// per-experiment rows are needed.
+/// per-experiment rows are needed; the field scanner skips keys it does
+/// not know and tolerates keys that are absent, so every schema version
+/// (v1 through v3) parses.
 fn parse_baseline(text: &str) -> Vec<BaselineRow> {
     fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
         let start = line.find(&format!("\"{key}\": "))? + key.len() + 4;
@@ -378,6 +437,7 @@ fn parse_baseline(text: &str) -> Vec<BaselineRow> {
                 id: field(l, "id")?.to_string(),
                 wall_ms: field(l, "wall_ms")?.parse().ok()?,
                 sim_ops: field(l, "sim_ops")?.parse().ok()?,
+                peak_alloc_bytes: field(l, "peak_alloc_bytes").and_then(|v| v.parse().ok()),
             })
         })
         .collect()
@@ -385,8 +445,10 @@ fn parse_baseline(text: &str) -> Vec<BaselineRow> {
 
 /// Re-run every experiment recorded in `baseline` and diff: `sim_ops`
 /// must match **exactly** (simulated work is deterministic; any drift is
-/// a behaviour change), wall-clock regressions beyond 25 % are flagged as
-/// warnings (timing is hardware-dependent, so they don't fail the run).
+/// a behaviour change), wall-clock and peak-heap regressions beyond 25 %
+/// are flagged as warnings (timing is hardware-dependent and the peak is
+/// a process-wide high-water mark, so they don't fail the run). Peaks
+/// are only compared when the baseline recorded them (bench-engine-v3+).
 fn bench_compare(path: &PathBuf, scale: Scale) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read baseline {}: {e}", path.display());
@@ -418,6 +480,18 @@ fn bench_compare(path: &PathBuf, scale: Scale) {
             );
             slower += 1;
         }
+        if let Some(base_peak) = base.peak_alloc_bytes {
+            if base_peak > 0 && fresh.peak_alloc_bytes as f64 > base_peak as f64 * 1.25 {
+                eprintln!(
+                    "warning {}: peak heap {:.1} MiB is {:.0}% over baseline {:.1} MiB",
+                    base.id,
+                    fresh.peak_alloc_bytes as f64 / (1u64 << 20) as f64,
+                    (fresh.peak_alloc_bytes as f64 / base_peak as f64 - 1.0) * 100.0,
+                    base_peak as f64 / (1u64 << 20) as f64
+                );
+                slower += 1;
+            }
+        }
         println!(
             "{:10} sim_ops {:>12} {} wall {:>8.1}ms (baseline {:.1}ms)",
             base.id,
@@ -434,7 +508,11 @@ fn bench_compare(path: &PathBuf, scale: Scale) {
     println!(
         "bench-compare passed: {} experiment(s) match baseline sim_ops exactly{}",
         baseline.len(),
-        if slower > 0 { format!(", {slower} wall-time warning(s)") } else { String::new() }
+        if slower > 0 {
+            format!(", {slower} wall-time/peak-heap warning(s)")
+        } else {
+            String::new()
+        }
     );
 }
 

@@ -674,6 +674,146 @@ pub fn fig6_xl(scale: Scale) -> Vec<Experiment> {
     }]
 }
 
+/// Fleet-wide memory accounting of one [`fleet_run`]: actual sparse
+/// residency vs the dense-equivalent registered footprint, plus an
+/// FNV-1a fold of every machine's resident-page digest (placement *and*
+/// content of materialized pages — the byte-identity token the 4-way
+/// determinism gate checks for the memory subsystem).
+struct FleetMem {
+    resident: u64,
+    dense: u64,
+    digest: u64,
+}
+
+/// One fig6-xxl point: `pairs` writer pairs, each with a `fan`-wide set
+/// of RC connections (the QP fleet), every machine holding one `region`-
+/// byte *backed* registration. The sparse pool is what makes the point
+/// feasible: dense backing for 2048 machines x 256 MiB would need half a
+/// terabyte, while only the seeded source page and the destination pages
+/// that received nonzero bytes ever materialize.
+fn fleet_run(pairs: usize, fan: usize, region: u64, ops: u64, seq: bool) -> (f64, FleetMem) {
+    let mut tb = Testbed::new(ClusterConfig { machines: 2 * pairs, ..Default::default() });
+    let mut setups = Vec::new();
+    for p in 0..pairs {
+        let (a, b) = (2 * p, 2 * p + 1);
+        let src = tb.register(a, 1, region);
+        let dst = tb.register(b, 1, region);
+        // A nonzero seed at the head of each source: the first sequential
+        // writes carry real bytes (materializing one destination page);
+        // everything else gathers zeros and is elided by the pool.
+        tb.machine_mut(a).mem.write(src, 0, b"fig6-xxl sparse fleet seed bytes");
+        let conns: Vec<ConnId> =
+            (0..fan).map(|_| tb.connect(Endpoint::affine(a, 1), Endpoint::affine(b, 1))).collect();
+        setups.push((src, dst, conns));
+    }
+    let payload = 32u64;
+    let slots = region / payload;
+    let mut loops: Vec<_> = setups
+        .iter()
+        .map(|(src, dst, conns)| {
+            let (src, dst) = (*src, *dst);
+            let conns = conns.clone();
+            let mut rng = SimRng::new(11);
+            let mut wr = WorkRequest {
+                wr_id: WrId(0),
+                kind: VerbKind::Write,
+                sgl: Sge::new(src, 0, payload).into(),
+                remote: Some((RKey(dst.0 as u64), 0)),
+                signaled: true,
+            };
+            ClosedLoop::new(8, ops, move |tb: &mut Testbed, now, i| {
+                let (l_off, r_off) = if seq {
+                    ((i % slots) * payload, (i % slots) * payload)
+                } else {
+                    (rng.gen_range(slots) * payload, rng.gen_range(slots) * payload)
+                };
+                wr.wr_id = WrId(i);
+                wr.sgl = Sge::new(src, l_off, payload).into();
+                wr.remote = Some((RKey(dst.0 as u64), r_off));
+                tb.post_one_ref(now, conns[(i % conns.len() as u64) as usize], &wr).at
+            })
+        })
+        .collect();
+    {
+        let mut pinned: Vec<Pinned<'_>> =
+            loops.iter_mut().enumerate().map(|(p, cl)| Pinned::new(2 * p, cl)).collect();
+        run_clients_sharded(&mut tb, &mut pinned, shards_default(), SimTime::MAX);
+    }
+    let (mut resident, mut dense, mut digest) = (0u64, 0u64, 0xcbf2_9ce4_8422_2325u64);
+    for (p, (src, dst, _)) in setups.iter().enumerate() {
+        for (m, mr) in [(2 * p, *src), (2 * p + 1, *dst)] {
+            let mem = &tb.machine(m).mem;
+            resident += mem.resident_bytes();
+            dense += mem.dense_bytes();
+            digest ^= mem.resident_digest(mr);
+            digest = digest.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    // The fleet claim itself: the run is only honest if sparse backing
+    // actually carried it — materialized pages must stay far below the
+    // dense-equivalent registration.
+    assert!(resident * 5 <= dense, "fig6-xxl lost sparsity: {resident} of {dense} bytes resident");
+    // Steady-state aggregate throughput: fold the second half of every
+    // pair's completion stream into one merged meter.
+    let mut merged = Meter::new(SimTime::ZERO);
+    for cl in &loops {
+        let mut m = Meter::new(SimTime::ZERO);
+        for &at in &cl.completions()[(ops / 2) as usize..] {
+            m.record(at);
+        }
+        merged.merge(&m);
+    }
+    (merged.mops(), FleetMem { resident, dense, digest })
+}
+
+/// fig6-xxl: the Fig 6 access-pattern sweep at fleet scale — up to 2048
+/// machines and a QP fan per pair (tens of thousands of connections at
+/// paper scale), every machine registering a 256 MiB *backed* region.
+/// Feasible only on the sparse lazy-page pool: registration is O(pages
+/// touched), untouched pages read as zeros, and all-zero payloads are
+/// elided, so the fleet's resident memory stays megabytes while the
+/// dense-equivalent registration is hundreds of gigabytes. The notes
+/// carry the resident/dense accounting and the fleet memory digest, so
+/// the 4-way determinism gate pins memory *placement* as well as timing.
+pub fn fig6_xxl(scale: Scale) -> Vec<Experiment> {
+    let (pair_counts, fan, ops): (&[usize], usize, u64) =
+        if scale.paper { (&[256, 1024], 48, 600) } else { (&[64, 256, 1024], 6, 64) };
+    let region = 256u64 << 20;
+    let mut series = Vec::new();
+    let mut notes = Vec::new();
+    for (label, seq) in [("write-seq-seq", true), ("write-rand-rand", false)] {
+        let mut s = Series::new(label);
+        let mut top: Option<FleetMem> = None;
+        for &pairs in pair_counts {
+            let (mops, mem) = fleet_run(pairs, fan, region, ops, seq);
+            s.push(2.0 * pairs as f64, mops);
+            top = Some(mem);
+        }
+        series.push(s);
+        let top = top.expect("non-empty pair_counts");
+        let machines = 2 * pair_counts.last().expect("non-empty");
+        notes.push(format!(
+            "{label} at {machines} machines: resident {:.1} MiB of {:.0} GiB registered \
+             ({:.0}x sparse saving); fleet memory digest {:016x}",
+            top.resident as f64 / (1u64 << 20) as f64,
+            top.dense as f64 / (1u64 << 30) as f64,
+            top.dense as f64 / top.resident.max(1) as f64,
+            top.digest,
+        ));
+    }
+    let machines = 2 * pair_counts.last().expect("non-empty");
+    let qps = 2 * fan * pair_counts.last().expect("non-empty");
+    vec![Experiment {
+        id: "fig6-xxl",
+        title: format!(
+            "Fig 6 at fleet scale: aggregate 32 B write MOPS vs machine count \
+             (up to {machines} machines / {qps} QPs, sparse lazy-page memory pool)"
+        ),
+        output: Output::Series { x: "machines".into(), y: "aggregate MOPS".into(), series },
+        notes,
+    }]
+}
+
 /// Table II: local vs remote socket memory (Intel MLC analogue).
 pub fn table2() -> Vec<Experiment> {
     let (local, remote) = memmodel::table2(&HostMemConfig::default());

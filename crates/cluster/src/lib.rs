@@ -47,7 +47,7 @@ pub mod testbed;
 
 pub use config::{ClusterConfig, NumaPenalties, RpcConfig};
 pub use engine::{run_clients, BatchLoop, Client, ClosedLoop, Step};
-pub use memory::{MemoryPool, Region};
+pub use memory::{MemoryPool, Region, CHUNK_BYTES};
 pub use oracle::{DmaSpan, OracleState, Race};
 pub use replay::{replay_program, ReplayOutcome};
 pub use shard::{

@@ -497,7 +497,7 @@ impl Testbed {
                             // Bulk path: gather straight into the remote
                             // region — or skip entirely when the write is
                             // discarded (unbacked benchmark target).
-                            write_effect(cm, sm, wr, MrId(rkey.0 as u32), off);
+                            write_effect(cm, sm, wr, MrId(rkey.0 as u32), off, &mut data);
                         } else {
                             data.clear();
                             gather_bytes_into(cm, wr, &mut data);
@@ -542,7 +542,7 @@ impl Testbed {
                         if batched {
                             // Bulk path: scatter straight from the remote
                             // region into the local SGL, no staging copy.
-                            read_effect(cm, sm, wr, MrId(rkey.0 as u32), off);
+                            read_effect(cm, sm, wr, MrId(rkey.0 as u32), off, &mut data);
                         } else {
                             data.clear();
                             sm.mem.read_into(MrId(rkey.0 as u32), off, payload, &mut data);
@@ -853,41 +853,64 @@ fn validate(cm: &Machine, sm: &Machine, wr: &WorkRequest) -> Option<CqeStatus> {
     }
 }
 
-/// Batched-pipeline data effect of a Write: copy each local SGE straight
-/// into the remote span — one `memcpy` per SGE, no staging buffer. An
-/// unbacked destination discards the write, so the gather is skipped
-/// entirely; an unbacked source SGE contributes zeros. Byte-for-byte
-/// equivalent to `gather_bytes_into` + `MemoryPool::write`.
-fn write_effect(cm: &Machine, sm: &mut Machine, wr: &WorkRequest, dst_mr: MrId, dst_off: u64) {
-    let Some(dst) = sm.mem.try_slice_mut(dst_mr, dst_off, wr.payload_bytes()) else {
+/// Batched-pipeline data effect of a Write: move each local SGE straight
+/// into the remote span. Every SGE view is a borrowed single-chunk slice
+/// in the common case (`scratch` is only touched when an SGE straddles a
+/// chunk seam), and the destination writes go through
+/// [`MemoryPool::write`]/[`MemoryPool::write_zeros`] so sparse-page
+/// materialization (including zero-write elision) is decided by exactly
+/// the same rules as the unbatched `gather_bytes_into` + `write` path —
+/// byte-identical *and* residency-identical. An unbacked destination
+/// discards the write, so the gather is skipped entirely; an unbacked
+/// source SGE contributes zeros.
+fn write_effect(
+    cm: &Machine,
+    sm: &mut Machine,
+    wr: &WorkRequest,
+    dst_mr: MrId,
+    dst_off: u64,
+    scratch: &mut Vec<u8>,
+) {
+    if !sm.mem.region(dst_mr).expect("validated").is_backed() {
         return;
-    };
-    let mut cursor = 0usize;
+    }
+    let mut cursor = 0u64;
     for sge in &wr.sgl {
-        let seg = &mut dst[cursor..cursor + sge.len as usize];
-        match cm.mem.try_slice(sge.mr, sge.offset, sge.len) {
-            Some(src) => seg.copy_from_slice(src),
-            None => seg.fill(0),
+        match cm.mem.read_view(sge.mr, sge.offset, sge.len, scratch) {
+            Some(src) => sm.mem.write(dst_mr, dst_off + cursor, src),
+            None => sm.mem.write_zeros(dst_mr, dst_off + cursor, sge.len),
         }
-        cursor += sge.len as usize;
+        cursor += sge.len;
     }
 }
 
 /// Batched-pipeline data effect of a Read: scatter the remote span
-/// straight into the local SGL — one `memcpy` per SGE, no staging buffer.
-/// An unbacked remote source reads as zeros; unbacked local SGEs discard
-/// their share. Byte-for-byte equivalent to `read_into` + `scatter_bytes`.
-fn read_effect(cm: &mut Machine, sm: &Machine, wr: &WorkRequest, src_mr: MrId, src_off: u64) {
-    let src = sm.mem.try_slice(src_mr, src_off, wr.payload_bytes());
-    let mut cursor = 0usize;
-    for sge in &wr.sgl {
-        if let Some(dst) = cm.mem.try_slice_mut(sge.mr, sge.offset, sge.len) {
-            match src {
-                Some(s) => dst.copy_from_slice(&s[cursor..cursor + sge.len as usize]),
-                None => dst.fill(0),
+/// straight into the local SGL (`scratch` is only touched when the span
+/// straddles a chunk seam). An unbacked remote source reads as zeros;
+/// unbacked local SGEs discard their share; destination writes share the
+/// sparse materialization rules with the unbatched `read_into` +
+/// `scatter_bytes` path, so both are byte- and residency-identical.
+fn read_effect(
+    cm: &mut Machine,
+    sm: &Machine,
+    wr: &WorkRequest,
+    src_mr: MrId,
+    src_off: u64,
+    scratch: &mut Vec<u8>,
+) {
+    match sm.mem.read_view(src_mr, src_off, wr.payload_bytes(), scratch) {
+        Some(src) => {
+            let mut cursor = 0usize;
+            for sge in &wr.sgl {
+                cm.mem.write(sge.mr, sge.offset, &src[cursor..cursor + sge.len as usize]);
+                cursor += sge.len as usize;
             }
         }
-        cursor += sge.len as usize;
+        None => {
+            for sge in &wr.sgl {
+                cm.mem.write_zeros(sge.mr, sge.offset, sge.len);
+            }
+        }
     }
 }
 

@@ -91,3 +91,47 @@ fn steady_state_posts_do_not_allocate() {
     let after = ALLOCS.load(Ordering::Relaxed);
     assert_eq!(after - before, 0, "verb hot path allocated {} times", after - before);
 }
+
+/// Steady-state *reads* of the sparse pool are allocation-free too: the
+/// zero-page fast path, `read_into` into grown scratch, `read_view`,
+/// `copy_within`, and `load_u64` must all stay off the heap once buffers
+/// have reached capacity — whether the span is materialized, elided, or
+/// straddles a chunk seam.
+#[test]
+fn steady_state_pool_reads_do_not_allocate() {
+    let mut pool = cluster::MemoryPool::new();
+    let a = pool.register(0, 4 * cluster::CHUNK_BYTES);
+    let b = pool.register(0, 4 * cluster::CHUNK_BYTES);
+    let seam = cluster::CHUNK_BYTES - 16;
+    // Materialize one chunk of `a`, leave the rest (and all of `b`'s
+    // far chunks) as holes; park a nonzero pattern across a seam.
+    pool.write(a, 0, b"warm nonzero bytes");
+    pool.write(a, seam, &[0x5A; 48]);
+
+    // Warm-up: grow the scratch and destination vectors to capacity.
+    let mut scratch = Vec::new();
+    let mut out = Vec::new();
+    pool.read_into(a, seam, 48, &mut out);
+    assert!(pool.read_view(a, seam, 48, &mut scratch).is_some());
+    pool.copy_within(a, seam, b, seam, 48);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..200u64 {
+        // Zero page: untouched chunk served straight from the static page.
+        assert_eq!(pool.try_slice(a, 2 * cluster::CHUNK_BYTES, 64).unwrap(), &[0u8; 64]);
+        // Materialized in-chunk span.
+        assert!(pool.try_slice(a, 0, 18).is_some());
+        // Seam-straddling span assembled into reused scratch.
+        assert_eq!(pool.read_view(a, seam, 48, &mut scratch).unwrap(), &[0x5A; 48]);
+        // Bulk read into a reused destination, alternating hole/resident.
+        out.clear();
+        pool.read_into(a, (i % 3) * cluster::CHUNK_BYTES, 48, &mut out);
+        // Pool-to-pool copy over already-materialized destination chunks.
+        pool.copy_within(a, seam, b, seam, 48);
+        // Word load from a hole and from resident bytes.
+        assert_eq!(pool.load_u64(a, 3 * cluster::CHUNK_BYTES), 0);
+        let _ = pool.load_u64(a, 0);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "pool read path allocated {} times", after - before);
+}

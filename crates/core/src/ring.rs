@@ -188,10 +188,11 @@ impl RingConsumer {
         if seq != self.head + 1 {
             return None; // not yet sealed (or an old lap)
         }
-        let len = u32::from_le_bytes(
-            tb.machine(machine).mem.read(self.mr, off + 8, 4).try_into().expect("4"),
-        ) as u64;
-        let payload = tb.machine(machine).mem.read(self.mr, off + SLOT_HEADER, len);
+        // The length field sits in the low half of an 8-byte lane; a u64
+        // load truncated to 32 bits reads it without a heap allocation.
+        let len = tb.machine(machine).mem.load_u64(self.mr, off + 8) as u32 as u64;
+        let mut payload = Vec::with_capacity(len as usize);
+        tb.machine(machine).mem.read_into(self.mr, off + SLOT_HEADER, len, &mut payload);
         self.head += 1;
         // Publish the new head for producer credit refreshes.
         tb.machine_mut(machine).mem.store_u64(self.mr, self.ring.base + 8, self.head);

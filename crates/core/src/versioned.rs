@@ -133,8 +133,13 @@ impl VersionedEntry {
             assert_eq!(cqe2.status, CqeStatus::Success);
             let tag = tb.machine(client.machine).mem.load_u64(staging, staging_off);
             if tag == version {
-                let value =
-                    tb.machine(client.machine).mem.read(staging, staging_off + 8, self.value_len);
+                let mut value = Vec::with_capacity(self.value_len as usize);
+                tb.machine(client.machine).mem.read_into(
+                    staging,
+                    staging_off + 8,
+                    self.value_len,
+                    &mut value,
+                );
                 return Some(VersionedRead { version, value, at: cqe2.at });
             }
             // Torn: a writer lapped us. Retry from the new counter.

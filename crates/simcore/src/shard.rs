@@ -3,13 +3,26 @@
 //! A [`ShardWorker`] owns one shard of a simulation — typically one or
 //! more machines plus their private [`EventQueue`](crate::EventQueue) —
 //! and the coordinator ([`run_sharded`]) advances every shard
-//! concurrently under a *conservative time window*: each round it finds
-//! the earliest pending event across all shards, opens a window of one
-//! lookahead from there, and lets every shard process its local events
-//! strictly inside the window on its own thread. Events that target
-//! another shard are not applied directly; the worker emits them as
-//! [`CrossMsg`]s, and the coordinator stages them into the destination
-//! shard's queue at the window barrier.
+//! concurrently under a *conservative time window*: windows live on the
+//! fixed grid `[k·lookahead, (k+1)·lookahead)`, and each round the
+//! coordinator jumps `k` straight to the grid slot holding the earliest
+//! pending event across all shards (shards report it via
+//! [`ShardWorker::next_time`]), then lets every shard process its local
+//! events strictly inside the window on its own thread. Empty grid slots
+//! are never barriered — a sparse timeline (arrivals microseconds apart
+//! under a nanosecond lookahead) pays one barrier per event cluster, not
+//! one per grid slot; [`ShardRun::skipped_windows`] counts the jumped
+//! slots. Events that target another shard are not applied directly; the
+//! worker emits them as [`CrossMsg`]s, and the coordinator stages them
+//! into the destination shard's queue at the window barrier.
+//!
+//! Window bases are *quantized* to lookahead multiples rather than
+//! anchored at the earliest event itself, so the set of window
+//! boundaries is a pure function of the event times — identical to a
+//! run that barriers every grid slot in order. Which barrier a
+//! cross-shard message is staged at (and therefore the staging order of
+//! same-time messages from different windows) depends only on the grid,
+//! never on which slots happened to be skipped.
 //!
 //! # Why the result is byte-identical to a serial run
 //!
@@ -89,13 +102,22 @@ pub trait ShardWorker: Send {
     fn deliver(&mut self, at: SimTime, payload: Self::Msg);
 }
 
-/// What a sharded run did: window count and exact per-shard op deltas.
+/// What a sharded run did: window/skip counts and exact per-shard
+/// op/activity deltas.
 #[derive(Clone, Debug, Default)]
 pub struct ShardRun {
     /// Number of conservative windows (barriers) executed.
     pub windows: u64,
+    /// Empty grid slots the coordinator jumped over between consecutive
+    /// barriers — windows a naive slot-by-slot scheduler would have
+    /// barriered for nothing. (Finite lookahead only; 0 under
+    /// [`Lookahead::Unbounded`].)
+    pub skipped_windows: u64,
     /// Simulated ops attributed to each shard, in shard order.
     pub shard_ops: Vec<u64>,
+    /// Per shard: in how many executed windows it had at least one local
+    /// event to process (idle shards ride barriers without work).
+    pub shard_windows: Vec<u64>,
 }
 
 /// Advance `workers` to completion under conservative `lookahead`
@@ -111,12 +133,41 @@ pub fn run_sharded<W: ShardWorker>(
         assert!(la > SimTime::ZERO, "lookahead must be positive for the windows to make progress");
     }
     let n = workers.len();
-    let mut run = ShardRun { windows: 0, shard_ops: vec![0; n] };
-    while let Some(start) = workers.iter().filter_map(ShardWorker::next_time).min() {
+    let mut run = ShardRun {
+        windows: 0,
+        skipped_windows: 0,
+        shard_ops: vec![0; n],
+        shard_windows: vec![0; n],
+    };
+    let mut prev_slot: Option<u64> = None;
+    while let Some(earliest) = workers.iter().filter_map(ShardWorker::next_time).min() {
         let end = match lookahead {
-            Lookahead::Finite(la) => Some(start.checked_add(la).unwrap_or(SimTime::MAX)),
+            Lookahead::Finite(la) => {
+                // Jump the window base to the grid slot holding the
+                // fleet-wide earliest event. Quantizing to lookahead
+                // multiples keeps the window-boundary set — and with it
+                // the cross-shard staging order — identical to a run
+                // that visits every slot in order; the jump only skips
+                // slots that provably contain no events.
+                let la_ps = la.as_ps();
+                let slot = earliest.as_ps() / la_ps;
+                if let Some(prev) = prev_slot {
+                    // All events below the previous window's end were
+                    // consumed, so the earliest survivor is in a later
+                    // slot; everything between was empty.
+                    run.skipped_windows += slot - prev - 1;
+                }
+                prev_slot = Some(slot);
+                let end_ps = slot.checked_add(1).and_then(|s| s.checked_mul(la_ps));
+                Some(end_ps.map_or(SimTime::MAX, SimTime::from_ps))
+            }
             Lookahead::Unbounded => None,
         };
+        for (i, w) in workers.iter().enumerate() {
+            if w.next_time().is_some_and(|t| end.is_none_or(|e| t < e)) {
+                run.shard_windows[i] += 1;
+            }
+        }
         let mut outboxes: Vec<Vec<CrossMsg<W::Msg>>> = Vec::with_capacity(n);
         if parallel && n > 1 {
             let mut deltas = vec![0u64; n];
@@ -351,6 +402,59 @@ mod tests {
         assert_eq!(serial_ops, parallel_ops, "folded totals must match");
         assert_eq!(run_s.shard_ops, run_p.shard_ops, "per-shard attribution must match");
         assert_eq!(run_s.shard_ops.iter().sum::<u64>(), serial_ops);
+    }
+
+    /// Window bases sit on the fixed `k·lookahead` grid, not on the
+    /// earliest event: two events 9ns apart but in different grid slots
+    /// run in different windows (an event-anchored window [25,35) would
+    /// have swallowed both).
+    #[test]
+    fn window_bases_are_grid_quantized() {
+        let mut ws = vec![Relay::new(0, 0, lat())];
+        ws[0].q.push(SimTime::from_ns(25), Ev::Recv { token: 1, hops: 0 });
+        ws[0].q.push(SimTime::from_ns(34), Ev::Recv { token: 2, hops: 0 });
+        let run = run_sharded(&mut ws, Lookahead::Finite(lat()), false);
+        assert_eq!(run.windows, 2, "grid slots [20,30) and [30,40) are distinct windows");
+        assert_eq!(run.skipped_windows, 0, "adjacent slots: nothing to jump");
+        assert_eq!(ws[0].log, vec![(SimTime::from_ns(25), 1), (SimTime::from_ns(34), 2)]);
+    }
+
+    /// A sparse timeline pays one barrier per event cluster: the
+    /// coordinator jumps over empty grid slots and counts them.
+    #[test]
+    fn idle_grid_slots_are_jumped_and_counted() {
+        let build = || {
+            let mut ws = vec![Relay::new(0, 0, lat()), Relay::new(1, 1, lat())];
+            // Shard 0 wakes once per microsecond; shard 1 sleeps forever.
+            for k in 0..3u64 {
+                ws[0].q.push(SimTime::from_ns(5 + 1000 * k), Ev::Recv { token: k, hops: 0 });
+            }
+            ws
+        };
+        let mut serial = build();
+        let run_s = run_sharded(&mut serial, Lookahead::Finite(lat()), false);
+        assert_eq!(run_s.windows, 3, "one window per wake-up, not one per 10ns slot");
+        // Slots 0, 100, 200 execute; the 99 empty slots between
+        // consecutive wake-ups are jumped, twice.
+        assert_eq!(run_s.skipped_windows, 2 * 99);
+        assert_eq!(run_s.shard_windows, vec![3, 0], "shard 1 never had local work");
+        let mut par = build();
+        let run_p = run_sharded(&mut par, Lookahead::Finite(lat()), true);
+        assert_eq!(run_p.windows, run_s.windows);
+        assert_eq!(run_p.skipped_windows, run_s.skipped_windows);
+        assert_eq!(run_p.shard_windows, run_s.shard_windows);
+        assert_eq!(serial[0].log, par[0].log);
+    }
+
+    /// Per-shard activity: in a ping-pong only one side holds the token
+    /// per window, so each shard is active in about half the windows.
+    #[test]
+    fn shard_windows_count_active_windows_only() {
+        let mut ws = vec![Relay::new(0, 1, lat()), Relay::new(1, 0, lat())];
+        ws[0].q.push(SimTime::ZERO, Ev::Send { dst: 1, token: 7, hops: 5 });
+        let run = run_sharded(&mut ws, Lookahead::Finite(lat()), false);
+        assert_eq!(run.shard_windows.iter().sum::<u64>(), run.windows);
+        assert!(run.shard_windows.iter().all(|&w| w >= 3));
     }
 
     #[test]

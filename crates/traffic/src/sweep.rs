@@ -119,9 +119,20 @@ pub fn find_knee(base: &TrafficConfig, slo: SimTime) -> Knee {
 pub fn find_knee_with(mut point: impl FnMut(f64) -> SweepPoint, slo: SimTime) -> Knee {
     let slo_us = slo.as_us();
     let mut probes = 0u32;
+    // Per-sweep memo keyed by the load's bit pattern: a probe is a full
+    // open-loop simulation, and the bracketing and bisection phases can
+    // land on the same load — replay the cached point instead of
+    // simulating it again. `probes` counts simulations, not lookups.
+    let mut cache: Vec<(u64, SweepPoint)> = Vec::new();
     let mut probe = |load: f64| -> SweepPoint {
+        let key = load.to_bits();
+        if let Some((_, pt)) = cache.iter().find(|(k, _)| *k == key) {
+            return pt.clone();
+        }
         probes += 1;
-        point(load)
+        let pt = point(load);
+        cache.push((key, pt.clone()));
+        pt
     };
     // A probe without a single post-warmup sample cannot demonstrate SLO
     // compliance, and neither can one whose goodput collapsed below the
@@ -174,5 +185,67 @@ pub fn find_knee_with(mut point: impl FnMut(f64) -> SweepPoint, slo: SimTime) ->
                 slo,
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(load: f64) -> SweepPoint {
+        // An ideal open-loop system: p99 equals the offered load in µs,
+        // goodput tracks offered exactly.
+        SweepPoint {
+            offered_mops: load,
+            realized_mops: load,
+            achieved_mops: load,
+            ops: 1000,
+            mean_us: load,
+            p50_us: load,
+            p99_us: load,
+            p999_us: load,
+            digest: 0,
+        }
+    }
+
+    /// The memo contract: one simulation per distinct load, and the probe
+    /// counter reports simulations (cache hits are free).
+    #[test]
+    fn knee_simulates_each_load_at_most_once() {
+        let mut simulated: Vec<u64> = Vec::new();
+        let knee = find_knee_with(
+            |load| {
+                assert!(
+                    !simulated.contains(&load.to_bits()),
+                    "load {load} simulated twice in one sweep"
+                );
+                simulated.push(load.to_bits());
+                synthetic(load)
+            },
+            SimTime::from_us(3),
+        );
+        assert_eq!(knee.probes as usize, simulated.len());
+        // SLO of 3µs on the ideal system: the knee lands in (2, 3].
+        assert!(knee.knee_mops > 2.0 && knee.knee_mops <= 3.0, "knee {}", knee.knee_mops);
+    }
+
+    /// Replaying a cached point must not change the result: a probe
+    /// function that would diverge on re-simulation (nondeterministic
+    /// tail) still yields a stable knee because each load runs once.
+    #[test]
+    fn cached_points_replay_identically() {
+        let mut calls = 0u32;
+        let knee = find_knee_with(
+            |load| {
+                calls += 1;
+                // Tail noise grows with every *simulation* — if a load
+                // were re-simulated its p99 would move.
+                let mut pt = synthetic(load);
+                pt.p999_us += calls as f64;
+                pt
+            },
+            SimTime::from_us(5),
+        );
+        assert_eq!(knee.probes, calls, "probe counter must track simulations exactly");
     }
 }

@@ -20,7 +20,13 @@ echo "== bench binaries build =="
 cargo build --benches --release --offline
 
 echo "== determinism check (serial vs parallel vs unbatched vs sharded) =="
+# The gate's id set includes fig6-xxl: a small-scale fleet sweep whose
+# rendered notes carry the sparse pool's resident-page digests, so all
+# four legs also prove memory materialization/elision byte-identity.
 cargo run --release --offline -p bench -- --check-determinism
+
+echo "== fig6-xxl fleet sweep (2048 machines on the sparse lazy-page pool) =="
+cargo run --release --offline -p bench -- fig6-xxl >/dev/null
 
 echo "== open-loop traffic smoke sweep (4-way determinism, all apps) =="
 cargo run --release --offline -p bench -- --traffic all --load 0.25 --check-determinism
